@@ -1,0 +1,37 @@
+# Development entry points for the Sieve reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-short bench vet fmt experiments record clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# One iteration of every figure/ablation benchmark with its metrics.
+bench:
+	$(GO) test -run XXX -bench . -benchmem -benchtime 1x .
+
+# Regenerate every table and figure at the default scale.
+experiments:
+	$(GO) run ./cmd/experiments -experiment all
+
+# Refresh the checked-in experiment record.
+record:
+	$(GO) run ./cmd/experiments -experiment all -scale 0.04 > experiments_scale0.04.txt
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,43 @@
+package sieve
+
+import (
+	"github.com/gpusampling/sieve/internal/pks"
+)
+
+// PKSPolicy selects the representative invocation within a PKS cluster.
+type PKSPolicy = pks.Policy
+
+// PKS representative-selection policies. The original proposal uses
+// first-chronological; random and centroid are the alternates evaluated in
+// the paper's Fig. 5.
+const (
+	PKSSelectFirst    = pks.SelectFirst
+	PKSSelectRandom   = pks.SelectRandom
+	PKSSelectCentroid = pks.SelectCentroid
+)
+
+// PKSClusteringAlgo selects the baseline's clustering engine.
+type PKSClusteringAlgo = pks.ClusteringAlgo
+
+// Clustering engines: PKS's k-means (default) and TBPoint-style
+// agglomerative hierarchical clustering from the paper's related work.
+const (
+	PKSAlgoKMeans       = pks.AlgoKMeans
+	PKSAlgoHierarchical = pks.AlgoHierarchical
+)
+
+// PKSOptions configures the PKS baseline.
+type PKSOptions = pks.Options
+
+// PKSPlan is a complete PKS selection: clusters, representatives and the
+// count weights its estimator uses.
+type PKSPlan = pks.Result
+
+// PKSSelect runs the Principal Kernel Selection baseline: standardize the
+// 12-characteristic feature rows, reduce with PCA, cluster with k-means
+// (k chosen 1..20 by minimizing per-invocation distortion against the golden
+// cycle counts — the real-hardware dependency the paper criticizes), and
+// select one representative per cluster.
+func PKSSelect(features [][]float64, goldenCycles []float64, opts PKSOptions) (*PKSPlan, error) {
+	return pks.Select(features, goldenCycles, opts)
+}

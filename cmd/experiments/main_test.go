@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/gpusampling/sieve/internal/experiments"
+)
+
+func TestProduceKnownIDs(t *testing.T) {
+	r := experiments.NewRunner(experiments.Config{Scale: 0.005})
+	// Cheap ones executed for real; expensive figures are covered by the
+	// experiments package's own tests.
+	for _, id := range []string{"table2"} {
+		tab, err := produce(r, id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if tab == nil || len(tab.Rows) == 0 {
+			t.Fatalf("%s: empty table", id)
+		}
+	}
+}
+
+func TestProduceUnknownID(t *testing.T) {
+	r := experiments.NewRunner(experiments.Config{Scale: 0.005})
+	if _, err := produce(r, "fig99"); err == nil {
+		t.Fatal("want error for unknown experiment")
+	}
+}
+
+func TestDedup(t *testing.T) {
+	got := dedup([]string{"a", "b", "a", "c", "b"})
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("dedup = %v", got)
+	}
+}
+
+func TestRunSmallExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real (small) experiment")
+	}
+	r := experiments.NewRunner(experiments.Config{Scale: 0.005})
+	if err := run(r, []string{"fig7"}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(r, []string{"nope"}, 1); err == nil {
+		t.Fatal("want error for unknown id")
+	}
+}

@@ -1,0 +1,248 @@
+// Command sieve runs the Sieve sampling pipeline on one workload: profile
+// (or load a profile CSV), stratify, select weighted representative kernel
+// invocations, and optionally validate the prediction against the golden
+// full-run measurement.
+//
+// Usage:
+//
+//	sieve -workload lmc -scale 0.05                  # end to end with validation
+//	sieve -workload lmc -profile-out lmc.csv         # emit the profile CSV
+//	sieve -profile-in lmc.csv                        # stratify a saved profile
+//	sieve -workload rnnt -theta 0.2 -policy max-cta  # explore options
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/gpusampling/sieve"
+)
+
+func main() {
+	var (
+		workload     = flag.String("workload", "", "Table I workload name to generate and profile")
+		specFile     = flag.String("spec", "", "generate from a custom workload spec JSON instead of a catalog name")
+		scale        = flag.Float64("scale", 0.05, "workload scale factor in (0, 1]")
+		theta        = flag.Float64("theta", sieve.DefaultTheta, "CoV threshold θ")
+		policy       = flag.String("policy", "dominant-cta-first", "representative policy: dominant-cta-first, first-chronological, max-cta")
+		splitter     = flag.String("splitter", "kde", "Tier-3 splitter: kde, equal-width, gmm")
+		arch         = flag.String("arch", "ampere", "hardware model: ampere, turing, or a JSON arch file")
+		profileIn    = flag.String("profile-in", "", "read the profile from this CSV instead of profiling")
+		profileOut   = flag.String("profile-out", "", "write the instruction-count profile CSV here")
+		validate     = flag.Bool("validate", true, "measure the full run and report prediction error (needs -workload)")
+		characterize = flag.Bool("characterize", false, "print the per-kernel workload characterization")
+	)
+	flag.Parse()
+	if *characterize {
+		if err := runCharacterize(*workload, *scale, *theta, *arch, *profileIn); err != nil {
+			fmt.Fprintln(os.Stderr, "sieve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*workload, *specFile, *scale, *theta, *policy, *splitter, *arch, *profileIn, *profileOut, *validate); err != nil {
+		fmt.Fprintln(os.Stderr, "sieve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload, specFile string, scale, theta float64, policyName, splitterName, archName, profileIn, profileOut string, validate bool) error {
+	opts := sieve.Options{Theta: theta}
+	switch policyName {
+	case "dominant-cta-first":
+		opts.Selection = sieve.SelectDominantCTAFirst
+	case "first-chronological":
+		opts.Selection = sieve.SelectFirstChronological
+	case "max-cta":
+		opts.Selection = sieve.SelectMaxCTA
+	default:
+		return fmt.Errorf("unknown policy %q", policyName)
+	}
+	switch splitterName {
+	case "kde":
+		opts.Tier3Splitter = sieve.SplitKDE
+	case "equal-width":
+		opts.Tier3Splitter = sieve.SplitEqualWidth
+	case "gmm":
+		opts.Tier3Splitter = sieve.SplitGMM
+	default:
+		return fmt.Errorf("unknown splitter %q", splitterName)
+	}
+	archCfg, err := sieve.ResolveArch(archName)
+	if err != nil {
+		return err
+	}
+	hw, err := sieve.NewHardware(archCfg)
+	if err != nil {
+		return err
+	}
+
+	var profile *sieve.Profile
+	var w *sieve.Workload
+	switch {
+	case specFile != "":
+		f, err := os.Open(specFile)
+		if err != nil {
+			return err
+		}
+		spec, err := sieve.ReadWorkloadSpecJSON(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if w, err = sieve.GenerateFromSpec(spec, scale); err != nil {
+			return err
+		}
+		fmt.Printf("custom workload %s (%s): %d kernels, %d invocations\n",
+			w.Name, w.Suite, w.NumKernels(), w.NumInvocations())
+		if profile, err = sieve.ProfileInstructionCounts(w, hw); err != nil {
+			return err
+		}
+	case profileIn != "":
+		f, err := os.Open(profileIn)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if profile, err = sieve.ReadProfileCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("loaded profile: %d invocations from %s\n", profile.NumInvocations(), profileIn)
+		validate = false // no workload to measure
+	case workload != "":
+		if w, err = sieve.GenerateWorkload(workload, scale); err != nil {
+			return err
+		}
+		fmt.Printf("workload %s (%s): %d kernels, %d invocations\n",
+			w.Name, w.Suite, w.NumKernels(), w.NumInvocations())
+		if profile, err = sieve.ProfileInstructionCounts(w, hw); err != nil {
+			return err
+		}
+		fmt.Printf("profiled with %s in %.1fs (modeled)\n", profile.Tool, profile.WallSeconds)
+	default:
+		return fmt.Errorf("need -workload or -profile-in")
+	}
+
+	if profileOut != "" {
+		f, err := os.Create(profileOut)
+		if err != nil {
+			return err
+		}
+		if err := sieve.WriteProfileCSV(profile, f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("profile CSV written to %s\n", profileOut)
+	}
+
+	plan, err := sieve.Sample(sieve.ProfileRows(profile), opts)
+	if err != nil {
+		return err
+	}
+	printPlan(plan)
+	if bound, err := plan.EstimateErrorBound(); err == nil {
+		fmt.Printf("\nheuristic uncertainty (no golden reference): ±%.2f%% (2σ); worst stratum %s (%.0f%% of variance)\n",
+			100*bound.TwoSigma, bound.WorstStratum, 100*bound.WorstContribution)
+	}
+
+	if validate && w != nil {
+		golden := hw.MeasureWorkload(w)
+		pred, err := plan.Predict(func(i int) (float64, error) { return golden[i], nil })
+		if err != nil {
+			return err
+		}
+		var total float64
+		for _, c := range golden {
+			total += c
+		}
+		sp, err := plan.Speedup(golden)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nvalidation on %s:\n", archCfg.Name)
+		fmt.Printf("  golden cycles     %.4g\n", total)
+		fmt.Printf("  predicted cycles  %.4g\n", pred.Cycles)
+		fmt.Printf("  predicted IPC     %.2f\n", pred.IPC)
+		fmt.Printf("  error             %.2f%%\n", 100*abs(pred.Cycles-total)/total)
+		fmt.Printf("  simulation speedup %.0fx\n", sp)
+	}
+	return nil
+}
+
+// runCharacterize prints the per-kernel workload characterization.
+func runCharacterize(workload string, scale, theta float64, archName, profileIn string) error {
+	archCfg, err := sieve.ResolveArch(archName)
+	if err != nil {
+		return err
+	}
+	var profile *sieve.Profile
+	switch {
+	case profileIn != "":
+		f, err := os.Open(profileIn)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if profile, err = sieve.ReadProfileCSV(f); err != nil {
+			return err
+		}
+	case workload != "":
+		w, err := sieve.GenerateWorkload(workload, scale)
+		if err != nil {
+			return err
+		}
+		hw, err := sieve.NewHardware(archCfg)
+		if err != nil {
+			return err
+		}
+		if profile, err = sieve.ProfileInstructionCounts(w, hw); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -workload or -profile-in")
+	}
+	sums, err := sieve.Characterize(sieve.ProfileRows(profile), theta)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-28s %6s %-7s %8s %10s %10s %10s %7s %7s %7s\n",
+		"kernel", "invocs", "tier", "share", "instr min", "instr mean", "instr max", "CoV", "CTA", "strata")
+	for _, s := range sums {
+		fmt.Printf("%-28s %6d %-7s %7.2f%% %10.3g %10.3g %10.3g %7.3f %7d %7d\n",
+			s.Kernel, s.Invocations, s.Tier, 100*s.InstrShare,
+			s.InstrMin, s.InstrMean, s.InstrMax, s.InstrCoV, s.DominantCTA, s.Strata)
+	}
+	return nil
+}
+
+func printPlan(plan *sieve.Plan) {
+	fmt.Printf("\nstratification (θ=%.2f): %d strata over %d invocations\n",
+		plan.Theta, plan.NumStrata(), plan.NumInvocations())
+	fmt.Printf("tier mix: Tier-1 %d, Tier-2 %d, Tier-3 %d invocations\n",
+		plan.TierInvocations[0], plan.TierInvocations[1], plan.TierInvocations[2])
+
+	strata := append([]sieve.Stratum(nil), plan.Strata...)
+	sort.Slice(strata, func(a, b int) bool { return strata[a].Weight > strata[b].Weight })
+	limit := 15
+	if len(strata) < limit {
+		limit = len(strata)
+	}
+	fmt.Printf("\ntop %d strata by weight:\n", limit)
+	fmt.Printf("  %-28s %-7s %9s %8s %12s\n", "kernel", "tier", "members", "weight", "rep(index)")
+	for _, s := range strata[:limit] {
+		fmt.Printf("  %-28s %-7s %9d %7.2f%% %12d\n",
+			s.Kernel, s.Tier, len(s.Invocations), 100*s.Weight, s.Representative)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunEndToEnd(t *testing.T) {
+	if err := run("gru", "", 0.01, 0.4, "dominant-cta-first", "kde", "ampere", "", "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPolicies(t *testing.T) {
+	for _, policy := range []string{"first-chronological", "max-cta"} {
+		if err := run("dwt2d", "", 1.0, 0.4, policy, "kde", "turing", "", "", false); err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+	}
+}
+
+func TestRunProfileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "profile.csv")
+	if err := run("histo", "", 1.0, 0.4, "dominant-cta-first", "kde", "ampere", "", csv, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(csv); err != nil {
+		t.Fatalf("profile CSV not written: %v", err)
+	}
+	// Load the CSV back instead of a workload.
+	if err := run("", "", 0.01, 0.4, "dominant-cta-first", "kde", "ampere", csv, "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"no input", func() error { return run("", "", 0.1, 0.4, "dominant-cta-first", "kde", "ampere", "", "", false) }},
+		{"bad policy", func() error { return run("gru", "", 0.1, 0.4, "nope", "kde", "ampere", "", "", false) }},
+		{"bad arch", func() error { return run("gru", "", 0.1, 0.4, "dominant-cta-first", "kde", "tpu", "", "", false) }},
+		{"unknown workload", func() error { return run("zzz", "", 0.1, 0.4, "dominant-cta-first", "kde", "ampere", "", "", false) }},
+		{"missing profile", func() error {
+			return run("", "", 0.1, 0.4, "dominant-cta-first", "kde", "ampere", "/does/not/exist.csv", "", false)
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.call(); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+func TestRunCharacterize(t *testing.T) {
+	if err := runCharacterize("gru", 0.01, 0.4, "ampere", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCharacterize("", 0.01, 0.4, "ampere", ""); err == nil {
+		t.Fatal("want error without input")
+	}
+	if err := runCharacterize("gru", 0.01, 0.4, "apu", ""); err == nil {
+		t.Fatal("want error for unknown arch")
+	}
+}
+
+func TestRunFromCustomSpec(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "spec.json")
+	content := `{
+	  "Name": "custom", "Suite": "Custom",
+	  "Kernels": 3, "FullInvocations": 400, "Seed": 5,
+	  "Tier1Frac": 0.4, "LowVarCoVLo": 0.05, "LowVarCoVHi": 0.3,
+	  "Uniformity": 0.5, "LocalityJitter": 0.02
+	}`
+	if err := os.WriteFile(spec, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", spec, 1.0, 0.4, "dominant-cta-first", "gmm", "ampere", "", "", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", "/missing/spec.json", 1.0, 0.4, "dominant-cta-first", "kde", "ampere", "", "", false); err == nil {
+		t.Fatal("want error for missing spec file")
+	}
+}
+
+func TestRunRejectsUnknownSplitter(t *testing.T) {
+	if err := run("gru", "", 0.01, 0.4, "dominant-cta-first", "median", "ampere", "", "", false); err == nil {
+		t.Fatal("want error for unknown splitter")
+	}
+	if err := run("gst", "", 1.0, 0.4, "dominant-cta-first", "equal-width", "ampere", "", "", true); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/gpusampling/sieve"
+)
+
+// writeTraces produces a small trace directory via the public API.
+func writeTraces(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	w, err := sieve.GenerateWorkload("dwt2d", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw, err := sieve.NewHardware(sieve.Ampere())
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile, err := sieve.ProfileInstructionCounts(w, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sieve.Sample(sieve.ProfileRows(profile), sieve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := sieve.GeneratePlanTraces(w, plan, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tr := range traces {
+		f, err := os.Create(filepath.Join(dir, filepath.Base(tr.Kernel)+string(rune('a'+i))+".trace"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sieve.WriteTrace(tr, f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return dir
+}
+
+func TestRunSerialAndParallel(t *testing.T) {
+	dir := writeTraces(t)
+	if err := run(dir, "ampere", 0, false, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(dir, "turing", 2, false, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(t.TempDir(), "ampere", 0, false, 0, ""); err == nil {
+		t.Fatal("want error for empty trace dir")
+	}
+	if err := run(writeTraces(t), "cpu", 0, false, 0, ""); err == nil {
+		t.Fatal("want error for unknown arch")
+	}
+	// A corrupt trace file must surface a parse error.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.trace"), []byte("garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(dir, "ampere", 0, false, 0, ""); err == nil {
+		t.Fatal("want error for corrupt trace")
+	}
+}
+
+func TestRunPKPAndMultiSMModes(t *testing.T) {
+	dir := writeTraces(t)
+	if err := run(dir, "ampere", 0, true, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(dir, "ampere", 0, false, 4, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(dir, "ampere", 0, true, 4, ""); err == nil {
+		t.Fatal("pkp and multism must be mutually exclusive")
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	dir := writeTraces(t)
+	out := filepath.Join(t.TempDir(), "results.json")
+	if err := run(dir, "ampere", 0, false, 0, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records []map[string]any
+	if err := json.Unmarshal(data, &records); err != nil {
+		t.Fatal(err)
+	}
+	if len(records) == 0 {
+		t.Fatal("no JSON records")
+	}
+	if _, ok := records[0]["gpu_cycles"]; !ok {
+		t.Fatalf("record missing gpu_cycles: %v", records[0])
+	}
+}

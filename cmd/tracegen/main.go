@@ -1,0 +1,84 @@
+// Command tracegen emits SASS-like traces for the representative kernel
+// invocations Sieve selects — the reproduction of the paper's modified
+// Accel-sim/NVBit tracer that "only create[s] the SASS trace of the selected
+// kernel invocations" (Section V-G). One plain-text trace file is written per
+// representative, so each can be dispatched to a separate simulator core.
+//
+// Usage:
+//
+//	tracegen -workload lmc -scale 0.02 -out traces/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/gpusampling/sieve"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "Table I workload name")
+		scale    = flag.Float64("scale", 0.02, "workload scale factor in (0, 1]")
+		theta    = flag.Float64("theta", sieve.DefaultTheta, "CoV threshold θ")
+		outDir   = flag.String("out", "traces", "output directory for trace files")
+		maxInstr = flag.Int("max-warp-instrs", 0, "per-trace warp-instruction cap (0 = default)")
+		seed     = flag.Int64("seed", 1, "tracer seed")
+	)
+	flag.Parse()
+	if err := run(*workload, *scale, *theta, *outDir, *maxInstr, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload string, scale, theta float64, outDir string, maxInstr int, seed int64) error {
+	if workload == "" {
+		return fmt.Errorf("need -workload")
+	}
+	w, err := sieve.GenerateWorkload(workload, scale)
+	if err != nil {
+		return err
+	}
+	hw, err := sieve.NewHardware(sieve.Ampere())
+	if err != nil {
+		return err
+	}
+	profile, err := sieve.ProfileInstructionCounts(w, hw)
+	if err != nil {
+		return err
+	}
+	plan, err := sieve.Sample(sieve.ProfileRows(profile), sieve.Options{Theta: theta})
+	if err != nil {
+		return err
+	}
+	traces, err := sieve.GeneratePlanTraces(w, plan, maxInstr, seed)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	var totalInstrs int
+	for _, tr := range traces {
+		name := fmt.Sprintf("%s_inv%06d.trace", tr.Kernel, tr.Invocation)
+		path := filepath.Join(outDir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := sieve.WriteTrace(tr, f); err != nil {
+			f.Close()
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		totalInstrs += len(tr.Instrs)
+	}
+	fmt.Printf("workload %s: %d invocations, %d strata\n", w.Name, w.NumInvocations(), plan.NumStrata())
+	fmt.Printf("wrote %d traces (%d warp instructions) to %s\n", len(traces), totalInstrs, outDir)
+	return nil
+}

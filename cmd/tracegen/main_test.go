@@ -1,0 +1,32 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRunWritesTraces(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("dwt2d", 1.0, 0.4, dir, 2000, 1); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "*.trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no trace files written")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", 0.1, 0.4, t.TempDir(), 0, 1); err == nil {
+		t.Fatal("want error for missing workload")
+	}
+	if err := run("nope", 0.1, 0.4, t.TempDir(), 0, 1); err == nil {
+		t.Fatal("want error for unknown workload")
+	}
+	if err := run("dwt2d", 5, 0.4, t.TempDir(), 0, 1); err == nil {
+		t.Fatal("want error for invalid scale")
+	}
+}

@@ -1,0 +1,89 @@
+package sieve_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/gpusampling/sieve"
+)
+
+// ExampleSample stratifies a hand-written profile: one constant kernel
+// (Tier-1) and one bimodal kernel that KDE splits into two strata.
+func ExampleSample() {
+	profile := []sieve.InvocationProfile{
+		{Kernel: "gemm", Index: 0, InstructionCount: 1e6, CTASize: 256},
+		{Kernel: "copy", Index: 1, InstructionCount: 1e4, CTASize: 128},
+		{Kernel: "gemm", Index: 2, InstructionCount: 1e6, CTASize: 256},
+		{Kernel: "copy", Index: 3, InstructionCount: 9e6, CTASize: 128},
+		{Kernel: "gemm", Index: 4, InstructionCount: 1e6, CTASize: 256},
+		{Kernel: "copy", Index: 5, InstructionCount: 1.1e4, CTASize: 128},
+	}
+	plan, err := sieve.Sample(profile, sieve.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("strata:", plan.NumStrata())
+	for _, s := range plan.Strata {
+		fmt.Printf("%s %s members=%d rep=%d\n", s.Kernel, s.Tier, len(s.Invocations), s.Representative)
+	}
+	// Output:
+	// strata: 3
+	// copy Tier-3 members=2 rep=1
+	// copy Tier-3 members=1 rep=3
+	// gemm Tier-1 members=3 rep=0
+}
+
+// ExamplePlan_Predict estimates full-application cycles from representative
+// measurements only.
+func ExamplePlan_Predict() {
+	profile := []sieve.InvocationProfile{
+		{Kernel: "a", Index: 0, InstructionCount: 100, CTASize: 64},
+		{Kernel: "a", Index: 1, InstructionCount: 100, CTASize: 64},
+		{Kernel: "b", Index: 2, InstructionCount: 900, CTASize: 64},
+	}
+	plan, err := sieve.Sample(profile, sieve.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// "Simulate" the representatives: kernel a runs at IPC 1, b at IPC 10.
+	pred, err := plan.Predict(func(i int) (float64, error) {
+		if i == 2 {
+			return 90, nil // 900 instructions at IPC 10
+		}
+		return 100, nil // 100 instructions at IPC 1
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cycles=%.0f ipc=%.2f\n", pred.Cycles, pred.IPC)
+	// Output:
+	// cycles=290 ipc=3.79
+}
+
+// ExampleGenerateWorkload synthesizes a Table I workload deterministically.
+func ExampleGenerateWorkload() {
+	w, err := sieve.GenerateWorkload("dwt2d", 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s/%s: %d kernels, %d invocations\n", w.Suite, w.Name, w.NumKernels(), w.NumInvocations())
+	// Output:
+	// Rodinia/dwt2d: 4 kernels, 10 invocations
+}
+
+// ExampleTierFractions computes the Fig. 2 quantity for two thresholds.
+func ExampleTierFractions() {
+	profile := []sieve.InvocationProfile{
+		{Kernel: "k", Index: 0, InstructionCount: 100, CTASize: 32},
+		{Kernel: "k", Index: 1, InstructionCount: 166, CTASize: 32},
+	}
+	fr, err := sieve.TierFractions(profile, []float64{0.1, 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("theta=0.1 tier3=%.0f%%\n", 100*fr[0][2])
+	fmt.Printf("theta=0.5 tier2=%.0f%%\n", 100*fr[1][1])
+	// Output:
+	// theta=0.1 tier3=100%
+	// theta=0.5 tier2=100%
+}

@@ -1,0 +1,100 @@
+// Design-space exploration: the reason sampling methodologies exist. Sieve
+// selects representative kernel invocations once, from a purely
+// microarchitecture-independent profile, and the same plan is then evaluated
+// on every candidate GPU configuration — here a sweep over SM count and DRAM
+// bandwidth around the RTX 3080 baseline. At each design point the sampled
+// prediction (representatives only) is validated against the golden full-run
+// measurement, including whether the sampled results *rank* the candidates
+// correctly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+
+	"github.com/gpusampling/sieve"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "lmc", "Table I workload name")
+		scale    = flag.Float64("scale", 0.02, "workload scale factor in (0, 1]")
+	)
+	flag.Parse()
+
+	w, err := sieve.GenerateWorkload(*workload, *scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := sieve.NewHardware(sieve.Ampere())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Select the plan ONCE, against the baseline profile. Nothing below
+	// re-runs profiling or stratification.
+	profile, err := sieve.ProfileInstructionCounts(w, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := sieve.Sample(sieve.ProfileRows(profile), sieve.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s: %d invocations, %d representatives (selected once)\n\n",
+		w.Name, w.NumInvocations(), plan.NumStrata())
+
+	fmt.Printf("%-6s %-10s %14s %14s %9s %12s\n",
+		"SMs", "DRAM GB/s", "golden cycles", "predicted", "error", "vs baseline")
+	type point struct{ golden, predicted float64 }
+	var points []point
+	var baseline float64
+	for _, smF := range []float64{0.5, 1.0, 1.5} {
+		for _, bwF := range []float64{0.5, 1.0, 1.5} {
+			arch := sieve.Ampere()
+			arch.SMs = int(float64(arch.SMs)*smF + 0.5)
+			arch.DRAMBandwidthGBs *= bwF
+			hw, err := sieve.NewHardware(arch)
+			if err != nil {
+				log.Fatal(err)
+			}
+			golden := hw.MeasureWorkload(w)
+			var total float64
+			for _, c := range golden {
+				total += c
+			}
+			pred, err := plan.Predict(func(i int) (float64, error) { return golden[i], nil })
+			if err != nil {
+				log.Fatal(err)
+			}
+			if smF == 1.0 && bwF == 1.0 {
+				baseline = total
+			}
+			points = append(points, point{golden: total, predicted: pred.Cycles})
+			vsBase := "-"
+			if baseline > 0 {
+				vsBase = fmt.Sprintf("%.2fx", baseline/total)
+			}
+			fmt.Printf("%-6d %-10.0f %14.4g %14.4g %8.2f%% %12s\n",
+				arch.SMs, arch.DRAMBandwidthGBs, total, pred.Cycles,
+				100*math.Abs(pred.Cycles-total)/total, vsBase)
+		}
+	}
+
+	// Rank fidelity: do the sampled predictions order the candidates the
+	// same way the golden measurements do?
+	concordant, pairs := 0, 0
+	for i := 0; i < len(points); i++ {
+		for j := i + 1; j < len(points); j++ {
+			pairs++
+			g := points[i].golden < points[j].golden
+			p := points[i].predicted < points[j].predicted
+			if g == p {
+				concordant++
+			}
+		}
+	}
+	fmt.Printf("\nrank fidelity across the design space: %d/%d candidate pairs ordered correctly\n",
+		concordant, pairs)
+}

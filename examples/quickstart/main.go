@@ -1,0 +1,77 @@
+// Quickstart: the minimal Sieve workflow from the paper's Fig. 1 —
+// profile a workload's kernel invocations (instruction counts only),
+// stratify them into per-kernel strata, select weighted representatives,
+// "simulate" just the representatives, and predict full-application
+// performance.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/gpusampling/sieve"
+)
+
+func main() {
+	// 1. The workload: a synthetic stand-in for Cactus' lmc (58 kernels,
+	//    248k invocations at full scale; 2% here for a quick run).
+	w, err := sieve.GenerateWorkload("lmc", 0.02)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s: %d kernels, %d invocations\n",
+		w.Name, w.NumKernels(), w.NumInvocations())
+
+	// 2. The hardware: an analytical RTX 3080 model stands in for silicon.
+	hw, err := sieve.NewHardware(sieve.Ampere())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Profile: one microarchitecture-independent metric per invocation.
+	profile, err := sieve.ProfileInstructionCounts(w, hw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled %d invocations in %.1fs (modeled NVBit run)\n",
+		profile.NumInvocations(), profile.WallSeconds)
+
+	// 4. Sieve: stratify and select weighted representatives (θ = 0.4).
+	plan, err := sieve.Sample(sieve.ProfileRows(profile), sieve.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sieved into %d strata (Tier-1/2/3 invocations: %d/%d/%d)\n",
+		plan.NumStrata(), plan.TierInvocations[0], plan.TierInvocations[1], plan.TierInvocations[2])
+
+	// 5. "Simulate" only the representatives and predict the full run.
+	pred, err := plan.Predict(func(i int) (float64, error) {
+		return hw.Cycles(&w.Invocations[i]), nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 6. Validate against the golden full-run measurement.
+	golden := hw.MeasureWorkload(w)
+	var total float64
+	for _, c := range golden {
+		total += c
+	}
+	speedup, err := plan.Speedup(golden)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npredicted cycles: %.4g (IPC %.1f)\n", pred.Cycles, pred.IPC)
+	fmt.Printf("measured cycles:  %.4g\n", total)
+	fmt.Printf("prediction error: %.2f%%\n", 100*abs(pred.Cycles-total)/total)
+	fmt.Printf("simulation speedup: %.0fx (%d of %d invocations simulated)\n",
+		speedup, plan.NumStrata(), w.NumInvocations())
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,3 @@
+module github.com/gpusampling/sieve
+
+go 1.22

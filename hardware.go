@@ -1,0 +1,69 @@
+package sieve
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/gpusampling/sieve/internal/cudamodel"
+	"github.com/gpusampling/sieve/internal/gpu"
+)
+
+// Workload is a GPU-compute program execution: a chronological sequence of
+// kernel invocations.
+type Workload = cudamodel.Workload
+
+// Invocation is one dynamic kernel execution.
+type Invocation = cudamodel.Invocation
+
+// Characteristics holds the twelve microarchitecture-independent execution
+// characteristics of Table II.
+type Characteristics = cudamodel.Characteristics
+
+// Dim3 is a CUDA grid/block dimension triple.
+type Dim3 = cudamodel.Dim3
+
+// CharacteristicNames returns the twelve metric names in feature-vector
+// order.
+func CharacteristicNames() []string { return cudamodel.CharacteristicNames() }
+
+// Arch describes a GPU platform (SM count, clock, bandwidth, caches …).
+type Arch = gpu.Arch
+
+// Hardware is a deterministic analytical timing model of one GPU — the
+// stand-in for real silicon used as golden reference.
+type Hardware = gpu.Model
+
+// Ampere returns the paper's baseline platform, an RTX 3080.
+func Ampere() Arch { return gpu.Ampere() }
+
+// Turing returns the paper's second platform, an RTX 2080 Ti.
+func Turing() Arch { return gpu.Turing() }
+
+// NewHardware returns a timing model for the architecture.
+func NewHardware(arch Arch) (*Hardware, error) { return gpu.NewModel(arch) }
+
+// ReadArchJSON parses a JSON architecture description: a named base
+// ("ampere" by default, or "turing") plus any field overrides, validated
+// before returning. Lets design-space studies define custom GPUs in files.
+func ReadArchJSON(r io.Reader) (Arch, error) { return gpu.ReadArch(r) }
+
+// WriteArchJSON serializes the full architecture description as JSON.
+func WriteArchJSON(a Arch, w io.Writer) error { return gpu.WriteArch(a, w) }
+
+// ResolveArch interprets an architecture argument: "ampere", "turing", or a
+// path to a JSON architecture description.
+func ResolveArch(nameOrPath string) (Arch, error) {
+	switch nameOrPath {
+	case "ampere":
+		return Ampere(), nil
+	case "turing":
+		return Turing(), nil
+	}
+	f, err := os.Open(nameOrPath)
+	if err != nil {
+		return Arch{}, fmt.Errorf("sieve: architecture %q is neither a known name nor a readable config: %w", nameOrPath, err)
+	}
+	defer f.Close()
+	return gpu.ReadArch(f)
+}

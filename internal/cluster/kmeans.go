@@ -1,0 +1,233 @@
+// Package cluster implements the k-means clustering substrate used by the
+// PKS baseline (Baddouh et al., MICRO 2021): k-means++ seeding, Lloyd
+// iterations with empty-cluster repair, and cluster-quality metrics.
+//
+// Determinism: all randomness flows through the caller-supplied *rand.Rand,
+// so a fixed seed reproduces the same clustering — the property the
+// experiment harness relies on.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Result describes a k-means clustering.
+type Result struct {
+	// Centroids holds the k cluster centers.
+	Centroids [][]float64
+	// Assignments maps each input point index to its cluster index.
+	Assignments []int
+	// Sizes holds the number of points per cluster.
+	Sizes []int
+	// Inertia is the total within-cluster sum of squared distances.
+	Inertia float64
+	// Iterations is the number of Lloyd iterations performed.
+	Iterations int
+}
+
+// Config controls a k-means run.
+type Config struct {
+	// K is the number of clusters; required, ≥ 1.
+	K int
+	// MaxIterations bounds Lloyd iterations (default 100).
+	MaxIterations int
+	// Tolerance stops iteration when no centroid moves more than this
+	// squared distance (default 1e-9).
+	Tolerance float64
+	// Rng supplies randomness for k-means++ seeding; required.
+	Rng *rand.Rand
+}
+
+// KMeans clusters points (each a feature vector of equal length) into cfg.K
+// clusters. It returns an error for invalid configuration, empty or ragged
+// input, or K exceeding the number of points.
+func KMeans(points [][]float64, cfg Config) (*Result, error) {
+	if err := validate(points, &cfg); err != nil {
+		return nil, err
+	}
+	dim := len(points[0])
+	centroids := seedPlusPlus(points, cfg.K, cfg.Rng)
+	assign := make([]int, len(points))
+	sizes := make([]int, cfg.K)
+
+	var iterations int
+	for iterations = 1; iterations <= cfg.MaxIterations; iterations++ {
+		// Assignment step.
+		for i, p := range points {
+			assign[i] = nearest(p, centroids)
+		}
+		// Update step.
+		next := make([][]float64, cfg.K)
+		for c := range next {
+			next[c] = make([]float64, dim)
+		}
+		for c := range sizes {
+			sizes[c] = 0
+		}
+		for i, p := range points {
+			c := assign[i]
+			sizes[c]++
+			for d, v := range p {
+				next[c][d] += v
+			}
+		}
+		for c := range next {
+			if sizes[c] == 0 {
+				// Empty-cluster repair: reseat on the point farthest from
+				// its assigned centroid.
+				far := farthestPoint(points, centroids, assign)
+				copy(next[c], points[far])
+				assign[far] = c
+				sizes[c] = 1
+				continue
+			}
+			for d := range next[c] {
+				next[c][d] /= float64(sizes[c])
+			}
+		}
+		// Convergence check.
+		var moved float64
+		for c := range centroids {
+			moved = math.Max(moved, sqDist(centroids[c], next[c]))
+		}
+		centroids = next
+		if moved <= cfg.Tolerance {
+			break
+		}
+	}
+	if iterations > cfg.MaxIterations {
+		iterations = cfg.MaxIterations
+	}
+
+	// Final assignment against the converged centroids.
+	for c := range sizes {
+		sizes[c] = 0
+	}
+	var inertia float64
+	for i, p := range points {
+		c := nearest(p, centroids)
+		assign[i] = c
+		sizes[c]++
+		inertia += sqDist(p, centroids[c])
+	}
+	return &Result{
+		Centroids:   centroids,
+		Assignments: assign,
+		Sizes:       sizes,
+		Inertia:     inertia,
+		Iterations:  iterations,
+	}, nil
+}
+
+func validate(points [][]float64, cfg *Config) error {
+	if len(points) == 0 {
+		return fmt.Errorf("cluster: no points")
+	}
+	dim := len(points[0])
+	if dim == 0 {
+		return fmt.Errorf("cluster: zero-dimensional points")
+	}
+	for i, p := range points {
+		if len(p) != dim {
+			return fmt.Errorf("cluster: point %d has %d dims, want %d", i, len(p), dim)
+		}
+	}
+	if cfg.K < 1 {
+		return fmt.Errorf("cluster: K = %d, want ≥ 1", cfg.K)
+	}
+	if cfg.K > len(points) {
+		return fmt.Errorf("cluster: K = %d exceeds %d points", cfg.K, len(points))
+	}
+	if cfg.Rng == nil {
+		return fmt.Errorf("cluster: nil Rng (pass a seeded *rand.Rand for reproducibility)")
+	}
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 100
+	}
+	if cfg.Tolerance <= 0 {
+		cfg.Tolerance = 1e-9
+	}
+	return nil
+}
+
+// seedPlusPlus selects k initial centroids with the k-means++ strategy:
+// the first uniformly, each next proportionally to squared distance from the
+// nearest chosen centroid.
+func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	centroids = append(centroids, clone(points[rng.Intn(len(points))]))
+
+	// dMin[i] tracks the squared distance from point i to its nearest
+	// already-chosen centroid; updated incrementally as centroids are added.
+	dMin := make([]float64, len(points))
+	for i, p := range points {
+		dMin[i] = sqDist(p, centroids[0])
+	}
+	for len(centroids) < k {
+		var total float64
+		for _, d := range dMin {
+			total += d
+		}
+		var next int
+		if total <= 0 {
+			// All points coincide with existing centroids; any choice works.
+			next = rng.Intn(len(points))
+		} else {
+			target := rng.Float64() * total
+			var acc float64
+			next = len(points) - 1
+			for i, d := range dMin {
+				acc += d
+				if acc >= target {
+					next = i
+					break
+				}
+			}
+		}
+		chosen := clone(points[next])
+		centroids = append(centroids, chosen)
+		for i, p := range points {
+			if d := sqDist(p, chosen); d < dMin[i] {
+				dMin[i] = d
+			}
+		}
+	}
+	return centroids
+}
+
+func nearest(p []float64, centroids [][]float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c, cent := range centroids {
+		if d := sqDist(p, cent); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+func farthestPoint(points [][]float64, centroids [][]float64, assign []int) int {
+	far, farD := 0, -1.0
+	for i, p := range points {
+		if d := sqDist(p, centroids[assign[i]]); d > farD {
+			far, farD = i, d
+		}
+	}
+	return far
+}
+
+func sqDist(a, b []float64) float64 {
+	var acc float64
+	for i := range a {
+		d := a[i] - b[i]
+		acc += d * d
+	}
+	return acc
+}
+
+func clone(p []float64) []float64 {
+	out := make([]float64, len(p))
+	copy(out, p)
+	return out
+}

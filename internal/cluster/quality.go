@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// WithinClusterValues groups the scalar values (e.g. per-invocation cycle
+// counts) by cluster assignment — the shape Figure 4 of the paper needs to
+// compute per-cluster cycle-count dispersion. Assignments must index valid
+// clusters 0..k-1 and match values in length.
+func WithinClusterValues(values []float64, assignments []int, k int) ([][]float64, error) {
+	if len(values) != len(assignments) {
+		return nil, fmt.Errorf("cluster: %d values vs %d assignments", len(values), len(assignments))
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("cluster: k = %d", k)
+	}
+	groups := make([][]float64, k)
+	for i, a := range assignments {
+		if a < 0 || a >= k {
+			return nil, fmt.Errorf("cluster: assignment %d out of range [0, %d)", a, k)
+		}
+		groups[a] = append(groups[a], values[i])
+	}
+	return groups, nil
+}
+
+// MeanSilhouette returns the mean silhouette coefficient of a clustering —
+// a quality score in [-1, 1] where higher is better-separated. Clusters of
+// size 1 contribute 0 per the usual convention. For large inputs the score is
+// computed on at most maxSample points chosen deterministically by stride,
+// keeping the O(n²) distance work bounded.
+func MeanSilhouette(points [][]float64, assignments []int, k, maxSample int) (float64, error) {
+	if len(points) != len(assignments) {
+		return 0, fmt.Errorf("cluster: %d points vs %d assignments", len(points), len(assignments))
+	}
+	if len(points) < 2 || k < 2 {
+		return 0, nil
+	}
+	if maxSample < 2 {
+		maxSample = 2
+	}
+	stride := 1
+	if len(points) > maxSample {
+		stride = (len(points) + maxSample - 1) / maxSample
+	}
+	var idx []int
+	for i := 0; i < len(points); i += stride {
+		idx = append(idx, i)
+	}
+
+	sizes := make([]int, k)
+	for _, a := range assignments {
+		if a < 0 || a >= k {
+			return 0, fmt.Errorf("cluster: assignment %d out of range [0, %d)", a, k)
+		}
+		sizes[a]++
+	}
+
+	var total float64
+	var counted int
+	sumDist := make([]float64, k)
+	cnt := make([]int, k)
+	for _, i := range idx {
+		ci := assignments[i]
+		if sizes[ci] < 2 {
+			counted++ // silhouette 0
+			continue
+		}
+		for c := range sumDist {
+			sumDist[c], cnt[c] = 0, 0
+		}
+		for _, j := range idx {
+			if i == j {
+				continue
+			}
+			d := math.Sqrt(sqDist(points[i], points[j]))
+			sumDist[assignments[j]] += d
+			cnt[assignments[j]]++
+		}
+		if cnt[ci] == 0 {
+			counted++ // no sampled intra-cluster peer
+			continue
+		}
+		a := sumDist[ci] / float64(cnt[ci])
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == ci || cnt[c] == 0 {
+				continue
+			}
+			if m := sumDist[c] / float64(cnt[c]); m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			counted++
+			continue
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+		}
+		counted++
+	}
+	if counted == 0 {
+		return 0, nil
+	}
+	return total / float64(counted), nil
+}

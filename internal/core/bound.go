@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/gpusampling/sieve/internal/stats"
+)
+
+// ErrorBound is a pre-simulation estimate of a sampling plan's prediction
+// uncertainty, computed without any golden reference — one of Sieve's selling
+// points over PKS is exactly that no real-hardware reference is needed.
+//
+// The estimate uses classical stratified-sampling theory with the
+// within-stratum *instruction-count* dispersion as a proxy for cycle
+// dispersion. It is deliberately conservative: it assumes per-cycle cost
+// could vary as much as invocation size does, whereas Sieve's CPI-based
+// estimator is exact when per-instruction cost is stable (the paper's core
+// premise). Observed errors therefore typically sit far below the bound;
+// treat it as a screening signal — a plan whose bound is large has strata
+// whose homogeneity rests entirely on the per-instruction-stability
+// assumption.
+type ErrorBound struct {
+	// RelativeStdDev is the estimated relative standard deviation of the
+	// predicted cycle count: sqrt(Σ (wᵢ · covᵢ)²) over strata with more
+	// than one member (a single representative drawn per stratum).
+	RelativeStdDev float64
+	// TwoSigma is 2× RelativeStdDev — a ~95% heuristic bound.
+	TwoSigma float64
+	// WorstStratum names the stratum contributing the most variance.
+	WorstStratum string
+	// WorstContribution is that stratum's share of the total variance.
+	WorstContribution float64
+}
+
+// EstimateErrorBound computes the heuristic prediction-uncertainty estimate
+// for the plan from its input profile (no cycle measurements required).
+func (r *Result) EstimateErrorBound() (*ErrorBound, error) {
+	if len(r.Strata) == 0 {
+		return nil, fmt.Errorf("core: no strata to bound")
+	}
+	var variance float64
+	bound := &ErrorBound{}
+	for i := range r.Strata {
+		s := &r.Strata[i]
+		if len(s.Invocations) < 2 {
+			continue
+		}
+		counts := make([]float64, len(s.Invocations))
+		for j, idx := range s.Invocations {
+			p, ok := r.byIndex[idx]
+			if !ok {
+				return nil, fmt.Errorf("core: stratum %d references unknown invocation %d", i, idx)
+			}
+			counts[j] = p.InstructionCount
+		}
+		contrib := s.Weight * stats.CoV(counts)
+		v := contrib * contrib
+		variance += v
+		if v > bound.WorstContribution {
+			bound.WorstContribution = v
+			bound.WorstStratum = s.Kernel
+		}
+	}
+	if variance > 0 {
+		bound.WorstContribution /= variance
+	}
+	bound.RelativeStdDev = math.Sqrt(variance)
+	bound.TwoSigma = 2 * bound.RelativeStdDev
+	return bound, nil
+}

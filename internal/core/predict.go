@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/gpusampling/sieve/internal/stats"
+)
+
+// CycleSource supplies the measured (or simulated) cycle count of one
+// invocation, addressed by its global chronological index. It abstracts over
+// "run the representative on real hardware" and "simulate the representative
+// trace".
+type CycleSource func(invocationIndex int) (float64, error)
+
+// Prediction is Sieve's application-level performance estimate
+// (Section III-D).
+type Prediction struct {
+	// IPC is the predicted application IPC: the weighted harmonic mean of
+	// per-representative IPC values.
+	IPC float64
+	// Cycles is the predicted total cycle count: total instructions divided
+	// by predicted IPC.
+	Cycles float64
+	// RepresentativeCycles is the summed cycle count of the simulated
+	// representatives — the cost of the sampled run.
+	RepresentativeCycles float64
+}
+
+// Predict estimates whole-application performance from per-representative
+// cycle counts: IPC_i = instr(rep_i)/cycles(rep_i), combined as the weighted
+// harmonic mean with the strata's instruction-share weights.
+func (r *Result) Predict(cycles CycleSource) (*Prediction, error) {
+	if len(r.Strata) == 0 {
+		return nil, fmt.Errorf("core: no strata to predict from")
+	}
+	ipcs := make([]float64, len(r.Strata))
+	weights := make([]float64, len(r.Strata))
+	var repTotal float64
+	for i := range r.Strata {
+		s := &r.Strata[i]
+		rep, ok := r.byIndex[s.Representative]
+		if !ok {
+			return nil, fmt.Errorf("core: stratum %d references unknown invocation %d", i, s.Representative)
+		}
+		c, err := cycles(s.Representative)
+		if err != nil {
+			return nil, fmt.Errorf("core: cycle source for invocation %d: %w", s.Representative, err)
+		}
+		if c <= 0 {
+			return nil, fmt.Errorf("core: non-positive cycle count %g for invocation %d", c, s.Representative)
+		}
+		ipcs[i] = rep.InstructionCount / c
+		weights[i] = s.Weight
+		repTotal += c
+	}
+	ipc, err := stats.WeightedHarmonicMean(ipcs, weights)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Prediction{
+		IPC:                  ipc,
+		Cycles:               r.TotalInstructions / ipc,
+		RepresentativeCycles: repTotal,
+	}, nil
+}
+
+// RepresentativeIndices returns the selected invocation indices, ascending.
+func (r *Result) RepresentativeIndices() []int {
+	out := make([]int, len(r.Strata))
+	for i := range r.Strata {
+		out[i] = r.Strata[i].Representative
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NumStrata returns the number of strata (and thus representatives).
+func (r *Result) NumStrata() int { return len(r.Strata) }
+
+// NumInvocations returns the total invocation count covered by the strata.
+func (r *Result) NumInvocations() int {
+	n := 0
+	for i := range r.Strata {
+		n += len(r.Strata[i].Invocations)
+	}
+	return n
+}
+
+// Speedup returns the simulation speedup of the sampling plan given the
+// golden per-invocation cycle counts of the full run: total cycles divided by
+// the representatives' cycles (Section IV: "the ratio of the total cycle
+// count for the entire workload execution divided by the total cycle count
+// for all representative kernel invocations").
+func (r *Result) Speedup(goldenCycles []float64) (float64, error) {
+	var total, reps float64
+	for i := range r.Strata {
+		s := &r.Strata[i]
+		for _, idx := range s.Invocations {
+			if idx < 0 || idx >= len(goldenCycles) {
+				return 0, fmt.Errorf("core: invocation index %d outside golden cycles (%d)", idx, len(goldenCycles))
+			}
+			total += goldenCycles[idx]
+		}
+		reps += goldenCycles[s.Representative]
+	}
+	if reps == 0 {
+		return 0, fmt.Errorf("core: representatives have zero cycles")
+	}
+	return total / reps, nil
+}
+
+// WeightedCycleCoV returns the invocation-weighted mean coefficient of
+// variation of cycle counts within strata — the dispersion metric of Fig. 4.
+// Single-member strata contribute zero dispersion.
+func (r *Result) WeightedCycleCoV(goldenCycles []float64) (float64, error) {
+	var num, den float64
+	for i := range r.Strata {
+		s := &r.Strata[i]
+		var acc stats.Accumulator
+		for _, idx := range s.Invocations {
+			if idx < 0 || idx >= len(goldenCycles) {
+				return 0, fmt.Errorf("core: invocation index %d outside golden cycles (%d)", idx, len(goldenCycles))
+			}
+			acc.Add(goldenCycles[idx])
+		}
+		num += acc.CoV() * float64(len(s.Invocations))
+		den += float64(len(s.Invocations))
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("core: no invocations in strata")
+	}
+	return num / den, nil
+}
+
+// TierFractions computes, for each θ in thetas, the fraction of invocations
+// classified Tier-1, Tier-2 and Tier-3 — the quantity Fig. 2 plots. The
+// returned slice parallels thetas; each element sums to one.
+func TierFractions(profile []InvocationProfile, thetas []float64) ([][3]float64, error) {
+	out := make([][3]float64, len(thetas))
+	for ti, theta := range thetas {
+		res, err := Stratify(profile, Options{Theta: theta})
+		if err != nil {
+			return nil, err
+		}
+		total := float64(res.NumInvocations())
+		for tier := 0; tier < 3; tier++ {
+			out[ti][tier] = float64(res.TierInvocations[tier]) / total
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,437 @@
+// Package core implements Sieve, the paper's contribution: a stratified
+// sampling methodology for GPU-compute workloads (Section III).
+//
+// Sieve consumes a minimal per-invocation profile — kernel name, invocation
+// ID, dynamic instruction count, CTA size — and stratifies the invocations
+// per kernel by instruction-count variability:
+//
+//   - Tier-1: zero variation across invocations → one stratum per kernel.
+//   - Tier-2: coefficient of variation below the threshold θ → one stratum.
+//   - Tier-3: CoV ≥ θ → the kernel's invocations are split with 1-D kernel
+//     density estimation into strata whose CoV is below θ.
+//
+// One representative invocation is selected per stratum (first-chronological
+// for Tier-1; first-chronological with the dominant CTA size for Tier-2/3)
+// and weighted by the stratum's share of total instruction count. Overall
+// performance is predicted as the weighted harmonic mean of per-
+// representative IPC.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/gpusampling/sieve/internal/kde"
+	"github.com/gpusampling/sieve/internal/stats"
+)
+
+// DefaultTheta is the paper's recommended CoV threshold (Section III-B:
+// "a threshold of θ = 0.4 strikes a good balance between accuracy and
+// speed").
+const DefaultTheta = 0.4
+
+// Tier classifies a kernel's instruction-count variability (Section III-B).
+type Tier int
+
+const (
+	// Tier1 kernels execute exactly the same instruction count every
+	// invocation.
+	Tier1 Tier = iota + 1
+	// Tier2 kernels vary, with CoV below the threshold θ.
+	Tier2
+	// Tier3 kernels vary with CoV at or above θ and are split with KDE.
+	Tier3
+)
+
+// String returns "Tier-1", "Tier-2" or "Tier-3".
+func (t Tier) String() string {
+	switch t {
+	case Tier1:
+		return "Tier-1"
+	case Tier2:
+		return "Tier-2"
+	case Tier3:
+		return "Tier-3"
+	default:
+		return fmt.Sprintf("Tier(%d)", int(t))
+	}
+}
+
+// SelectionPolicy picks the representative invocation within a stratum.
+type SelectionPolicy int
+
+const (
+	// SelectDominantCTAFirst picks the first-chronological invocation with
+	// the stratum's most common CTA size — the paper's default for Tier-2/3
+	// ("the selected kernel invocation occupies the available hardware
+	// resources in a representative way for the rest of stratum").
+	SelectDominantCTAFirst SelectionPolicy = iota
+	// SelectFirstChronological picks the earliest invocation outright.
+	SelectFirstChronological
+	// SelectMaxCTA picks the first-chronological invocation with the
+	// largest CTA size — evaluated by the paper and found less accurate.
+	SelectMaxCTA
+)
+
+// String names the policy.
+func (p SelectionPolicy) String() string {
+	switch p {
+	case SelectDominantCTAFirst:
+		return "dominant-cta-first"
+	case SelectFirstChronological:
+		return "first-chronological"
+	case SelectMaxCTA:
+		return "max-cta"
+	default:
+		return fmt.Sprintf("SelectionPolicy(%d)", int(p))
+	}
+}
+
+// Splitter chooses the Tier-3 sub-stratification algorithm.
+type Splitter int
+
+const (
+	// SplitKDE cuts at kernel-density-estimate valleys, then bisects — the
+	// paper's method.
+	SplitKDE Splitter = iota
+	// SplitEqualWidth bins instruction counts into equal-width histogram
+	// bins, then bisects — the ablation baseline.
+	SplitEqualWidth
+	// SplitGMM fits a Gaussian mixture with EM and cuts at hard-assignment
+	// boundaries — the model-based ablation alternative.
+	SplitGMM
+)
+
+// String names the splitter.
+func (s Splitter) String() string {
+	switch s {
+	case SplitKDE:
+		return "kde"
+	case SplitEqualWidth:
+		return "equal-width"
+	case SplitGMM:
+		return "gmm"
+	default:
+		return fmt.Sprintf("Splitter(%d)", int(s))
+	}
+}
+
+// InvocationProfile is the per-invocation information Sieve needs — exactly
+// what the instruction-count profiler collects (Section III-A), plus the CTA
+// size used by representative selection.
+type InvocationProfile struct {
+	// Kernel is the kernel name.
+	Kernel string
+	// Index is the global chronological invocation index.
+	Index int
+	// InstructionCount is the dynamically executed instruction count.
+	InstructionCount float64
+	// CTASize is the thread-block size.
+	CTASize int
+}
+
+// Options configures stratification.
+type Options struct {
+	// Theta is the CoV threshold θ separating Tier-2 from Tier-3;
+	// DefaultTheta if zero.
+	Theta float64
+	// Selection is the representative-selection policy.
+	Selection SelectionPolicy
+	// Tier3Splitter picks the Tier-3 splitting algorithm.
+	Tier3Splitter Splitter
+}
+
+// withDefaults returns the options with zero values replaced by defaults.
+func (o Options) withDefaults() (Options, error) {
+	if o.Theta == 0 {
+		o.Theta = DefaultTheta
+	}
+	if o.Theta < 0 {
+		return o, fmt.Errorf("core: negative theta %g", o.Theta)
+	}
+	switch o.Selection {
+	case SelectDominantCTAFirst, SelectFirstChronological, SelectMaxCTA:
+	default:
+		return o, fmt.Errorf("core: unknown selection policy %d", o.Selection)
+	}
+	switch o.Tier3Splitter {
+	case SplitKDE, SplitEqualWidth, SplitGMM:
+	default:
+		return o, fmt.Errorf("core: unknown splitter %d", o.Tier3Splitter)
+	}
+	return o, nil
+}
+
+// Stratum is one group of same-kernel, similar-instruction-count invocations
+// with its selected representative and weight.
+type Stratum struct {
+	// Kernel is the kernel every member invocation belongs to.
+	Kernel string
+	// Tier is the owning kernel's tier.
+	Tier Tier
+	// Invocations holds member invocation indices in chronological order.
+	Invocations []int
+	// InstructionSum is the total instruction count across members.
+	InstructionSum float64
+	// Representative is the selected invocation index.
+	Representative int
+	// Weight is InstructionSum divided by the workload's total instruction
+	// count; weights across strata sum to one.
+	Weight float64
+}
+
+// Result is a complete stratification: the sampling plan Sieve emits.
+type Result struct {
+	// Strata holds every stratum, ordered by kernel name and ascending
+	// instruction count.
+	Strata []Stratum
+	// TotalInstructions is the workload's total instruction count.
+	TotalInstructions float64
+	// TierInvocations counts invocations per tier (index Tier-1).
+	TierInvocations [3]int
+	// Theta is the threshold used.
+	Theta float64
+	// profile retains the input for prediction (indexed by Index).
+	byIndex map[int]*InvocationProfile
+}
+
+// Stratify groups the profiled invocations into strata per Section III-B and
+// selects a weighted representative per stratum per Section III-C.
+func Stratify(profile []InvocationProfile, opts Options) (*Result, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(profile) == 0 {
+		return nil, fmt.Errorf("core: empty profile")
+	}
+	byIndex := make(map[int]*InvocationProfile, len(profile))
+	for i := range profile {
+		p := &profile[i]
+		if p.Kernel == "" {
+			return nil, fmt.Errorf("core: profile row %d has no kernel name", i)
+		}
+		if p.InstructionCount <= 0 {
+			return nil, fmt.Errorf("core: profile row %d (kernel %s) has non-positive instruction count", i, p.Kernel)
+		}
+		if p.CTASize <= 0 {
+			return nil, fmt.Errorf("core: profile row %d (kernel %s) has non-positive CTA size", i, p.Kernel)
+		}
+		if _, dup := byIndex[p.Index]; dup {
+			return nil, fmt.Errorf("core: duplicate invocation index %d", p.Index)
+		}
+		byIndex[p.Index] = p
+	}
+
+	// Group rows per kernel, preserving chronological order.
+	kernelRows := make(map[string][]*InvocationProfile)
+	var kernelOrder []string
+	for i := range profile {
+		p := &profile[i]
+		if _, seen := kernelRows[p.Kernel]; !seen {
+			kernelOrder = append(kernelOrder, p.Kernel)
+		}
+		kernelRows[p.Kernel] = append(kernelRows[p.Kernel], p)
+	}
+	sort.Strings(kernelOrder)
+
+	res := &Result{Theta: opts.Theta, byIndex: byIndex}
+	for _, kernel := range kernelOrder {
+		rows := kernelRows[kernel]
+		sort.Slice(rows, func(a, b int) bool { return rows[a].Index < rows[b].Index })
+		strata, tier, err := stratifyKernel(kernel, rows, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: kernel %s: %w", kernel, err)
+		}
+		res.TierInvocations[tier-1] += len(rows)
+		res.Strata = append(res.Strata, strata...)
+	}
+
+	// Weights: stratum instruction share of the total (Section III-C).
+	for i := range res.Strata {
+		res.TotalInstructions += res.Strata[i].InstructionSum
+	}
+	for i := range res.Strata {
+		res.Strata[i].Weight = res.Strata[i].InstructionSum / res.TotalInstructions
+	}
+	return res, nil
+}
+
+// stratifyKernel classifies one kernel's invocations and returns its strata.
+func stratifyKernel(kernel string, rows []*InvocationProfile, opts Options) ([]Stratum, Tier, error) {
+	counts := make([]float64, len(rows))
+	allEqual := true
+	for i, r := range rows {
+		counts[i] = r.InstructionCount
+		if counts[i] != counts[0] {
+			allEqual = false
+		}
+	}
+
+	var tier Tier
+	switch {
+	case allEqual:
+		tier = Tier1
+	case stats.CoV(counts) < opts.Theta:
+		tier = Tier2
+	default:
+		tier = Tier3
+	}
+
+	if tier != Tier3 {
+		s, err := buildStratum(kernel, tier, rows, opts)
+		if err != nil {
+			return nil, tier, err
+		}
+		return []Stratum{s}, tier, nil
+	}
+
+	// Tier-3: split the instruction counts so each group's CoV < θ, then
+	// map value groups back to rows. The splitters return ascending groups
+	// that partition the sorted sample, so sorting rows by (count, index)
+	// and carving by group lengths reproduces the assignment exactly.
+	var groups [][]float64
+	var err error
+	switch opts.Tier3Splitter {
+	case SplitKDE:
+		groups, err = kde.SplitUnderCoV(counts, opts.Theta)
+	case SplitEqualWidth:
+		groups, err = equalWidthSplit(counts, opts.Theta)
+	case SplitGMM:
+		groups, err = kde.SplitUnderCoVGMM(counts, opts.Theta)
+	}
+	if err != nil {
+		return nil, tier, err
+	}
+	sortedRows := append([]*InvocationProfile(nil), rows...)
+	sort.SliceStable(sortedRows, func(a, b int) bool {
+		if sortedRows[a].InstructionCount != sortedRows[b].InstructionCount {
+			return sortedRows[a].InstructionCount < sortedRows[b].InstructionCount
+		}
+		return sortedRows[a].Index < sortedRows[b].Index
+	})
+	var strata []Stratum
+	at := 0
+	for _, g := range groups {
+		members := sortedRows[at : at+len(g)]
+		at += len(g)
+		s, err := buildStratum(kernel, tier, members, opts)
+		if err != nil {
+			return nil, tier, err
+		}
+		strata = append(strata, s)
+	}
+	if at != len(sortedRows) {
+		return nil, tier, fmt.Errorf("splitter dropped invocations: %d of %d assigned", at, len(sortedRows))
+	}
+	return strata, tier, nil
+}
+
+// buildStratum assembles a stratum from member rows and selects its
+// representative.
+func buildStratum(kernel string, tier Tier, members []*InvocationProfile, opts Options) (Stratum, error) {
+	s := Stratum{Kernel: kernel, Tier: tier}
+	s.Invocations = make([]int, len(members))
+	order := append([]*InvocationProfile(nil), members...)
+	sort.Slice(order, func(a, b int) bool { return order[a].Index < order[b].Index })
+	for i, r := range order {
+		s.Invocations[i] = r.Index
+		s.InstructionSum += r.InstructionCount
+	}
+	rep, err := selectRepresentative(order, tier, opts.Selection)
+	if err != nil {
+		return s, err
+	}
+	s.Representative = rep
+	return s, nil
+}
+
+// selectRepresentative implements Section III-C on chronologically ordered
+// members.
+func selectRepresentative(ordered []*InvocationProfile, tier Tier, policy SelectionPolicy) (int, error) {
+	if len(ordered) == 0 {
+		return 0, fmt.Errorf("empty stratum")
+	}
+	if tier == Tier1 || policy == SelectFirstChronological {
+		// Tier-1: all invocations are interchangeable; take the first.
+		return ordered[0].Index, nil
+	}
+	switch policy {
+	case SelectDominantCTAFirst:
+		// Most common CTA size; ties break toward the size seen first.
+		freq := make(map[int]int)
+		for _, r := range ordered {
+			freq[r.CTASize]++
+		}
+		dominant, best := 0, -1
+		for _, r := range ordered {
+			if f := freq[r.CTASize]; f > best {
+				dominant, best = r.CTASize, f
+			}
+		}
+		for _, r := range ordered {
+			if r.CTASize == dominant {
+				return r.Index, nil
+			}
+		}
+		return ordered[0].Index, nil
+	case SelectMaxCTA:
+		max := 0
+		for _, r := range ordered {
+			if r.CTASize > max {
+				max = r.CTASize
+			}
+		}
+		for _, r := range ordered {
+			if r.CTASize == max {
+				return r.Index, nil
+			}
+		}
+		return ordered[0].Index, nil
+	default:
+		return 0, fmt.Errorf("unknown selection policy %d", policy)
+	}
+}
+
+// equalWidthSplit is the ablation Tier-3 splitter: Freedman–Diaconis
+// equal-width bins followed by the same CoV-constrained bisection the KDE
+// path uses for stubborn groups.
+func equalWidthSplit(counts []float64, theta float64) ([][]float64, error) {
+	bins := stats.FreedmanDiaconisBins(counts, 64)
+	h, err := stats.NewHistogram(counts, bins)
+	if err != nil {
+		return nil, err
+	}
+	sorted := append([]float64(nil), counts...)
+	sort.Float64s(sorted)
+	var groups [][]float64
+	var current []float64
+	currentBin := -1
+	for _, v := range sorted {
+		b := h.Bin(v)
+		if b != currentBin && len(current) > 0 {
+			groups = append(groups, current)
+			current = nil
+		}
+		currentBin = b
+		current = append(current, v)
+	}
+	if len(current) > 0 {
+		groups = append(groups, current)
+	}
+	// Bisect any group still over threshold by delegating to the KDE
+	// splitter, which reduces to pure bisection on already-tight samples.
+	var out [][]float64
+	for _, g := range groups {
+		if len(g) > 1 && stats.CoV(g) >= theta {
+			sub, err := kde.SplitUnderCoV(g, theta)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sub...)
+			continue
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}

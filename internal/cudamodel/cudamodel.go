@@ -1,0 +1,244 @@
+// Package cudamodel defines the GPU-compute workload model the whole
+// reproduction is built on: kernels, kernel invocations, launch
+// configurations, and the twelve microarchitecture-independent execution
+// characteristics PKS profiles (Table II of the paper), of which Sieve uses
+// only one (dynamic instruction count).
+//
+// An Invocation also carries Hidden microarchitectural behaviour (cache
+// locality, DRAM row locality, unit mix, working-set size). Hidden state is
+// what real silicon exhibits but microarchitecture-independent profiling
+// cannot observe; the hardware timing model consumes it, the profilers never
+// expose it. This asymmetry is the paper's central phenomenon: invocations
+// that look alike to a profiler can still run for very different cycle
+// counts.
+package cudamodel
+
+import (
+	"fmt"
+	"sort"
+)
+
+// WarpSize is the number of threads per warp on every NVIDIA architecture
+// modeled here.
+const WarpSize = 32
+
+// Dim3 is a CUDA grid or block dimension triple.
+type Dim3 struct {
+	X, Y, Z int32
+}
+
+// Count returns the total element count X·Y·Z.
+func (d Dim3) Count() int {
+	return int(d.X) * int(d.Y) * int(d.Z)
+}
+
+// String formats the dimension as "(x, y, z)".
+func (d Dim3) String() string {
+	return fmt.Sprintf("(%d, %d, %d)", d.X, d.Y, d.Z)
+}
+
+// Characteristics holds the twelve microarchitecture-independent execution
+// characteristics PKS collects per kernel invocation (Table II). Counters are
+// dynamic totals for the invocation; DivergenceEfficiency is a fraction in
+// (0, 1].
+type Characteristics struct {
+	CoalescedGlobalLoads  float64
+	CoalescedGlobalStores float64
+	CoalescedLocalLoads   float64
+	ThreadGlobalLoads     float64
+	ThreadGlobalStores    float64
+	ThreadLocalLoads      float64
+	ThreadSharedLoads     float64
+	ThreadSharedStores    float64
+	ThreadGlobalAtomics   float64
+	InstructionCount      float64
+	DivergenceEfficiency  float64
+	ThreadBlocks          float64
+}
+
+// NumCharacteristics is the dimensionality of the PKS feature space.
+const NumCharacteristics = 12
+
+// Vector returns the characteristics as a 12-element feature vector in the
+// order of CharacteristicNames.
+func (c *Characteristics) Vector() []float64 {
+	return []float64{
+		c.CoalescedGlobalLoads,
+		c.CoalescedGlobalStores,
+		c.CoalescedLocalLoads,
+		c.ThreadGlobalLoads,
+		c.ThreadGlobalStores,
+		c.ThreadLocalLoads,
+		c.ThreadSharedLoads,
+		c.ThreadSharedStores,
+		c.ThreadGlobalAtomics,
+		c.InstructionCount,
+		c.DivergenceEfficiency,
+		c.ThreadBlocks,
+	}
+}
+
+// CharacteristicNames returns the metric names in Vector order, matching
+// Table II of the paper.
+func CharacteristicNames() []string {
+	return []string{
+		"coalesced_global_loads",
+		"coalesced_global_stores",
+		"coalesced_local_loads",
+		"thread_global_loads",
+		"thread_global_stores",
+		"thread_local_loads",
+		"thread_shared_loads",
+		"thread_shared_stores",
+		"thread_global_atomics",
+		"instruction_count",
+		"divergence_efficiency",
+		"thread_blocks",
+	}
+}
+
+// Hidden is the per-invocation microarchitectural behaviour that real
+// hardware exhibits but microarchitecture-independent profiling cannot see.
+// The gpu timing model consumes it; profilers must never serialize it.
+type Hidden struct {
+	// CacheLocality is the fraction of memory transactions served by the
+	// cache hierarchy when the working set fits in the L2 (0..1).
+	CacheLocality float64
+	// RowLocality is the DRAM row-buffer hit fraction, scaling effective
+	// DRAM bandwidth (0..1).
+	RowLocality float64
+	// FP32Fraction is the fraction of instructions eligible for the doubled
+	// FP32 datapath introduced with Ampere (0..1).
+	FP32Fraction float64
+	// TensorFraction is the fraction of work issued to tensor pipes (0..1);
+	// significant for the MLPerf workloads.
+	TensorFraction float64
+	// BankConflictFactor is the shared-memory serialization multiplier (≥1).
+	BankConflictFactor float64
+	// L2WorkingSet is the invocation's resident working set in bytes,
+	// deciding whether CacheLocality applies against a given L2 capacity.
+	L2WorkingSet float64
+}
+
+// Invocation is one dynamic execution of a kernel.
+type Invocation struct {
+	// Kernel is the kernel (function) name; invocations of the same kernel
+	// share it.
+	Kernel string
+	// Index is the global chronological invocation index within the
+	// workload, starting at 0.
+	Index int
+	// Seq is the per-kernel invocation sequence number, starting at 0.
+	Seq int
+	// Grid and Block are the launch dimensions.
+	Grid, Block Dim3
+	// Chars holds the microarchitecture-independent characteristics.
+	Chars Characteristics
+	// Hidden holds microarchitecture-dependent behaviour (see Hidden).
+	Hidden Hidden
+}
+
+// CTASize returns the number of threads per thread block (CTA).
+func (inv *Invocation) CTASize() int { return inv.Block.Count() }
+
+// Threads returns the total launched thread count.
+func (inv *Invocation) Threads() float64 {
+	return float64(inv.Grid.Count()) * float64(inv.Block.Count())
+}
+
+// Warps returns the total launched warp count (CTA-padded).
+func (inv *Invocation) Warps() float64 {
+	warpsPerCTA := float64((inv.CTASize() + WarpSize - 1) / WarpSize)
+	return warpsPerCTA * float64(inv.Grid.Count())
+}
+
+// Workload is a complete GPU-compute program execution: the chronological
+// sequence of kernel invocations.
+type Workload struct {
+	// Name identifies the workload (e.g. "lmc").
+	Name string
+	// Suite identifies the benchmark suite (e.g. "Cactus").
+	Suite string
+	// Invocations is the chronological invocation list. Invocation i must
+	// have Index == i.
+	Invocations []Invocation
+}
+
+// Validate checks the workload's structural invariants: non-empty, indices
+// chronological, sequence numbers dense per kernel, positive instruction
+// counts, divergence efficiency in (0, 1], and sane launch dims.
+func (w *Workload) Validate() error {
+	if w.Name == "" {
+		return fmt.Errorf("cudamodel: workload has no name")
+	}
+	if len(w.Invocations) == 0 {
+		return fmt.Errorf("cudamodel: workload %q has no invocations", w.Name)
+	}
+	nextSeq := make(map[string]int)
+	for i := range w.Invocations {
+		inv := &w.Invocations[i]
+		if inv.Index != i {
+			return fmt.Errorf("cudamodel: %q invocation %d has index %d", w.Name, i, inv.Index)
+		}
+		if inv.Kernel == "" {
+			return fmt.Errorf("cudamodel: %q invocation %d has no kernel name", w.Name, i)
+		}
+		if inv.Seq != nextSeq[inv.Kernel] {
+			return fmt.Errorf("cudamodel: %q invocation %d of kernel %q has seq %d, want %d",
+				w.Name, i, inv.Kernel, inv.Seq, nextSeq[inv.Kernel])
+		}
+		nextSeq[inv.Kernel]++
+		if inv.Chars.InstructionCount <= 0 {
+			return fmt.Errorf("cudamodel: %q invocation %d has non-positive instruction count", w.Name, i)
+		}
+		if inv.Chars.DivergenceEfficiency <= 0 || inv.Chars.DivergenceEfficiency > 1 {
+			return fmt.Errorf("cudamodel: %q invocation %d has divergence efficiency %g outside (0, 1]",
+				w.Name, i, inv.Chars.DivergenceEfficiency)
+		}
+		if inv.Grid.Count() <= 0 || inv.Block.Count() <= 0 {
+			return fmt.Errorf("cudamodel: %q invocation %d has empty grid or block", w.Name, i)
+		}
+	}
+	return nil
+}
+
+// NumInvocations returns the number of kernel invocations.
+func (w *Workload) NumInvocations() int { return len(w.Invocations) }
+
+// KernelNames returns the distinct kernel names in sorted order.
+func (w *Workload) KernelNames() []string {
+	seen := make(map[string]bool)
+	var names []string
+	for i := range w.Invocations {
+		k := w.Invocations[i].Kernel
+		if !seen[k] {
+			seen[k] = true
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NumKernels returns the number of distinct kernels.
+func (w *Workload) NumKernels() int { return len(w.KernelNames()) }
+
+// TotalInstructions returns the workload's total dynamic instruction count.
+func (w *Workload) TotalInstructions() float64 {
+	var total float64
+	for i := range w.Invocations {
+		total += w.Invocations[i].Chars.InstructionCount
+	}
+	return total
+}
+
+// InvocationsByKernel returns, per kernel name, the chronological invocation
+// indices of that kernel.
+func (w *Workload) InvocationsByKernel() map[string][]int {
+	byKernel := make(map[string][]int)
+	for i := range w.Invocations {
+		k := w.Invocations[i].Kernel
+		byKernel[k] = append(byKernel[k], i)
+	}
+	return byKernel
+}

@@ -1,0 +1,166 @@
+package cudamodel
+
+import (
+	"testing"
+)
+
+// validInvocation builds a minimal valid invocation for tests.
+func validInvocation(kernel string, index, seq int) Invocation {
+	return Invocation{
+		Kernel: kernel,
+		Index:  index,
+		Seq:    seq,
+		Grid:   Dim3{X: 10, Y: 1, Z: 1},
+		Block:  Dim3{X: 256, Y: 1, Z: 1},
+		Chars: Characteristics{
+			InstructionCount:     1e6,
+			DivergenceEfficiency: 1,
+			ThreadBlocks:         10,
+		},
+	}
+}
+
+func validWorkload() *Workload {
+	return &Workload{
+		Name:  "toy",
+		Suite: "Test",
+		Invocations: []Invocation{
+			validInvocation("A", 0, 0),
+			validInvocation("B", 1, 0),
+			validInvocation("A", 2, 1),
+		},
+	}
+}
+
+func TestDim3Count(t *testing.T) {
+	d := Dim3{X: 2, Y: 3, Z: 4}
+	if d.Count() != 24 {
+		t.Fatalf("Count = %d", d.Count())
+	}
+	if d.String() != "(2, 3, 4)" {
+		t.Fatalf("String = %q", d.String())
+	}
+}
+
+func TestCharacteristicsVectorOrderMatchesNames(t *testing.T) {
+	c := Characteristics{
+		CoalescedGlobalLoads:  1,
+		CoalescedGlobalStores: 2,
+		CoalescedLocalLoads:   3,
+		ThreadGlobalLoads:     4,
+		ThreadGlobalStores:    5,
+		ThreadLocalLoads:      6,
+		ThreadSharedLoads:     7,
+		ThreadSharedStores:    8,
+		ThreadGlobalAtomics:   9,
+		InstructionCount:      10,
+		DivergenceEfficiency:  11,
+		ThreadBlocks:          12,
+	}
+	v := c.Vector()
+	names := CharacteristicNames()
+	if len(v) != NumCharacteristics || len(names) != NumCharacteristics {
+		t.Fatalf("lengths %d, %d, want %d", len(v), len(names), NumCharacteristics)
+	}
+	for i, x := range v {
+		if x != float64(i+1) {
+			t.Fatalf("Vector[%d] = %g, want %d (order mismatch with %q)", i, x, i+1, names[i])
+		}
+	}
+	if names[9] != "instruction_count" {
+		t.Fatalf("instruction_count must be the 10th metric, got %q", names[9])
+	}
+}
+
+func TestInvocationGeometry(t *testing.T) {
+	inv := Invocation{
+		Grid:  Dim3{X: 4, Y: 2, Z: 1},
+		Block: Dim3{X: 33, Y: 1, Z: 1},
+	}
+	if inv.CTASize() != 33 {
+		t.Fatalf("CTASize = %d", inv.CTASize())
+	}
+	if inv.Threads() != 8*33 {
+		t.Fatalf("Threads = %g", inv.Threads())
+	}
+	// 33 threads → 2 warps per CTA (padding), 8 CTAs → 16 warps.
+	if inv.Warps() != 16 {
+		t.Fatalf("Warps = %g", inv.Warps())
+	}
+}
+
+func TestValidateAcceptsValidWorkload(t *testing.T) {
+	if err := validWorkload().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	mutate := func(f func(w *Workload)) *Workload {
+		w := validWorkload()
+		f(w)
+		return w
+	}
+	cases := []struct {
+		name string
+		w    *Workload
+	}{
+		{"no name", mutate(func(w *Workload) { w.Name = "" })},
+		{"no invocations", &Workload{Name: "x"}},
+		{"bad index", mutate(func(w *Workload) { w.Invocations[1].Index = 5 })},
+		{"no kernel name", mutate(func(w *Workload) { w.Invocations[0].Kernel = "" })},
+		{"bad seq", mutate(func(w *Workload) { w.Invocations[2].Seq = 7 })},
+		{"zero instructions", mutate(func(w *Workload) { w.Invocations[0].Chars.InstructionCount = 0 })},
+		{"bad divergence", mutate(func(w *Workload) { w.Invocations[0].Chars.DivergenceEfficiency = 1.5 })},
+		{"zero divergence", mutate(func(w *Workload) { w.Invocations[0].Chars.DivergenceEfficiency = 0 })},
+		{"empty grid", mutate(func(w *Workload) { w.Invocations[0].Grid = Dim3{} })},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.w.Validate(); err == nil {
+				t.Fatal("want validation error")
+			}
+		})
+	}
+}
+
+func TestWorkloadAggregates(t *testing.T) {
+	w := validWorkload()
+	if w.NumInvocations() != 3 {
+		t.Fatalf("NumInvocations = %d", w.NumInvocations())
+	}
+	names := w.KernelNames()
+	if len(names) != 2 || names[0] != "A" || names[1] != "B" {
+		t.Fatalf("KernelNames = %v", names)
+	}
+	if w.NumKernels() != 2 {
+		t.Fatalf("NumKernels = %d", w.NumKernels())
+	}
+	if w.TotalInstructions() != 3e6 {
+		t.Fatalf("TotalInstructions = %g", w.TotalInstructions())
+	}
+}
+
+func TestInvocationsByKernel(t *testing.T) {
+	w := validWorkload()
+	byK := w.InvocationsByKernel()
+	if len(byK) != 2 {
+		t.Fatalf("groups = %d", len(byK))
+	}
+	a := byK["A"]
+	if len(a) != 2 || a[0] != 0 || a[1] != 2 {
+		t.Fatalf("A indices = %v", a)
+	}
+	b := byK["B"]
+	if len(b) != 1 || b[0] != 1 {
+		t.Fatalf("B indices = %v", b)
+	}
+	// Indices must be chronological.
+	for _, idxs := range byK {
+		for i := 1; i < len(idxs); i++ {
+			if idxs[i] <= idxs[i-1] {
+				t.Fatal("indices out of order")
+			}
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Package experiments is the reproduction harness: one function per table
+// and figure of the paper's evaluation (Section V), producing printable rows
+// and machine-readable results. cmd/experiments and the root bench suite are
+// thin wrappers around this package.
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/gpusampling/sieve/internal/core"
+	"github.com/gpusampling/sieve/internal/cudamodel"
+	"github.com/gpusampling/sieve/internal/gpu"
+	"github.com/gpusampling/sieve/internal/pks"
+	"github.com/gpusampling/sieve/internal/profiler"
+	"github.com/gpusampling/sieve/internal/stats"
+	"github.com/gpusampling/sieve/internal/workloads"
+)
+
+// Config holds the experiment-wide knobs.
+type Config struct {
+	// Scale is the workload generation scale in (0, 1]; 0 selects
+	// DefaultScale.
+	Scale float64
+	// Theta is Sieve's CoV threshold; 0 selects core.DefaultTheta.
+	Theta float64
+	// Seed drives PKS's k-means and random selection.
+	Seed int64
+}
+
+// DefaultScale keeps full-suite experiments laptop-sized while preserving the
+// distributional shapes the experiments measure.
+const DefaultScale = 0.05
+
+func (c Config) withDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = DefaultScale
+	}
+	if c.Theta == 0 {
+		c.Theta = core.DefaultTheta
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Evaluation is the per-workload comparison of Sieve and PKS on one
+// architecture — the raw material of Figs. 3–6 and 8.
+type Evaluation struct {
+	Name  string
+	Suite string
+
+	Invocations int
+	Kernels     int
+
+	GoldenCycles float64 // total measured cycles (golden reference)
+
+	SieveError   float64 // |predicted-measured|/measured
+	SieveSpeedup float64
+	SieveCoV     float64 // weighted within-stratum cycle CoV
+	SieveStrata  int
+
+	PKSError    float64
+	PKSSpeedup  float64
+	PKSCoV      float64
+	PKSClusters int
+}
+
+// prepared bundles the expensive per-workload artifacts shared by the
+// figures: the generated workload, golden cycles and both sampling plans.
+type prepared struct {
+	w      *cudamodel.Workload
+	hw     *gpu.Model
+	golden []float64
+	total  float64
+
+	sieveProfile []core.InvocationProfile
+	sieve        *core.Result
+	sieveProfSec float64 // modeled instruction-count profiling time
+
+	features    [][]float64
+	pks         *pks.Result
+	fullProfSec float64 // modeled 12-metric profiling time
+}
+
+// prepare generates the workload and runs both sampling pipelines on the
+// baseline (Ampere) hardware model.
+func prepare(spec workloads.Spec, cfg Config) (*prepared, error) {
+	cfg = cfg.withDefaults()
+	w, err := workloads.Generate(spec, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	hw, err := gpu.NewModel(gpu.Ampere())
+	if err != nil {
+		return nil, err
+	}
+	p := &prepared{w: w, hw: hw}
+	p.golden = hw.MeasureWorkload(w)
+	p.total = stats.Sum(p.golden)
+
+	// Sieve pipeline: instruction-count profile → stratification.
+	icProf, err := profiler.NewInstructionCountProfiler().Profile(w, hw)
+	if err != nil {
+		return nil, err
+	}
+	p.sieveProfile = SieveProfile(icProf)
+	p.sieveProfSec = icProf.WallSeconds
+	p.sieve, err = core.Stratify(p.sieveProfile, core.Options{Theta: cfg.Theta})
+	if err != nil {
+		return nil, err
+	}
+
+	// PKS pipeline: full profile → PCA → k-means with golden k-selection.
+	fullProf, err := profiler.NewFullProfiler().Profile(w, hw)
+	if err != nil {
+		return nil, err
+	}
+	p.features = FeatureRows(fullProf)
+	p.fullProfSec = fullProf.WallSeconds
+	p.pks, err = pks.Select(p.features, p.golden, pks.Options{Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// SieveProfile converts a profiler table into Sieve's input rows.
+func SieveProfile(p *profiler.Profile) []core.InvocationProfile {
+	out := make([]core.InvocationProfile, len(p.Records))
+	for i, r := range p.Records {
+		out[i] = core.InvocationProfile{
+			Kernel:           r.Kernel,
+			Index:            r.Index,
+			InstructionCount: r.Chars.InstructionCount,
+			CTASize:          r.CTASize,
+		}
+	}
+	return out
+}
+
+// FeatureRows converts a full profiler table into PKS's 12-D feature rows.
+func FeatureRows(p *profiler.Profile) [][]float64 {
+	out := make([][]float64, len(p.Records))
+	for i := range p.Records {
+		out[i] = p.Records[i].Chars.Vector()
+	}
+	return out
+}
+
+// cyclesFrom adapts a golden cycle slice into a CycleSource.
+func cyclesFrom(golden []float64) func(int) (float64, error) {
+	return func(i int) (float64, error) {
+		if i < 0 || i >= len(golden) {
+			return 0, fmt.Errorf("invocation %d outside measured range %d", i, len(golden))
+		}
+		return golden[i], nil
+	}
+}
+
+// EvaluateWorkload runs the full Sieve-vs-PKS comparison for one workload on
+// the baseline architecture.
+func EvaluateWorkload(spec workloads.Spec, cfg Config) (*Evaluation, error) {
+	p, err := prepare(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ev := &Evaluation{
+		Name:         spec.Name,
+		Suite:        spec.Suite,
+		Invocations:  p.w.NumInvocations(),
+		Kernels:      p.w.NumKernels(),
+		GoldenCycles: p.total,
+		SieveStrata:  p.sieve.NumStrata(),
+		PKSClusters:  p.pks.K,
+	}
+
+	sievePred, err := p.sieve.Predict(cyclesFrom(p.golden))
+	if err != nil {
+		return nil, fmt.Errorf("%s: sieve predict: %w", spec.Name, err)
+	}
+	if ev.SieveError, err = stats.AbsRelError(sievePred.Cycles, p.total); err != nil {
+		return nil, err
+	}
+	if ev.SieveSpeedup, err = p.sieve.Speedup(p.golden); err != nil {
+		return nil, err
+	}
+	if ev.SieveCoV, err = p.sieve.WeightedCycleCoV(p.golden); err != nil {
+		return nil, err
+	}
+
+	pksPred, err := p.pks.PredictCycles(cyclesFrom(p.golden))
+	if err != nil {
+		return nil, fmt.Errorf("%s: pks predict: %w", spec.Name, err)
+	}
+	if ev.PKSError, err = stats.AbsRelError(pksPred, p.total); err != nil {
+		return nil, err
+	}
+	if ev.PKSSpeedup, err = p.pks.Speedup(p.golden); err != nil {
+		return nil, err
+	}
+	if ev.PKSCoV, err = p.pks.WeightedCycleCoV(p.golden); err != nil {
+		return nil, err
+	}
+	return ev, nil
+}

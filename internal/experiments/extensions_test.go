@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSimStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("traces and simulates several workloads")
+	}
+	r := NewRunner(testCfg)
+	rows, err := r.SimStudy(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(simStudyWorkloads) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.Representatives < 1 || row.WarpInstrs < row.Representatives {
+			t.Fatalf("%s: degenerate study row %+v", row.Name, row)
+		}
+		if row.SerialWall <= 0 || row.ParallelWall <= 0 {
+			t.Fatalf("%s: missing wall times", row.Name)
+		}
+		if row.LongestSMCycles == 0 || row.TotalGPUCycles <= 0 {
+			t.Fatalf("%s: missing simulation results", row.Name)
+		}
+	}
+	tab := RenderSimStudy(rows)
+	var buf strings.Builder
+	if err := tab.Print(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "V-G") {
+		t.Fatal("rendered table missing title")
+	}
+}
+
+func TestDSE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps the design space")
+	}
+	r := NewRunner(testCfg)
+	results, err := r.DSE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(dseWorkloads) {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, res := range results {
+		if len(res.Points) < 9 {
+			t.Fatalf("%s: only %d design points", res.Name, len(res.Points))
+		}
+		if res.MaxError > 0.10 {
+			t.Fatalf("%s: sampled prediction err %.1f%% at some design point", res.Name, 100*res.MaxError)
+		}
+		if res.RankFidelity < 0.9 {
+			t.Fatalf("%s: rank fidelity %.2f — sampling must preserve design-point ordering", res.Name, res.RankFidelity)
+		}
+		// Halving bandwidth or SMs must slow the golden runs: the sweep must
+		// contain real performance variation, not flat lines.
+		var minSp, maxSp float64 = 1e18, 0
+		for _, pt := range res.Points {
+			if pt.SpeedupVsBase < minSp {
+				minSp = pt.SpeedupVsBase
+			}
+			if pt.SpeedupVsBase > maxSp {
+				maxSp = pt.SpeedupVsBase
+			}
+		}
+		if maxSp/minSp < 1.2 {
+			t.Fatalf("%s: design space too flat (%.2f..%.2f)", res.Name, minSp, maxSp)
+		}
+	}
+	tab := RenderDSE(results)
+	if len(tab.Rows) != len(results) {
+		t.Fatalf("rendered rows = %d", len(tab.Rows))
+	}
+}
+
+func TestDSESweepShape(t *testing.T) {
+	configs := dseSweep()
+	if len(configs) != 11 {
+		t.Fatalf("sweep has %d configs, want 11 (5+5-1 axis points + 2 corners)", len(configs))
+	}
+	seen := map[string]bool{}
+	for _, a := range configs {
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if seen[a.Name] {
+			t.Fatalf("duplicate config %s", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+func TestRankFidelity(t *testing.T) {
+	perfect := []DSEPoint{
+		{GoldenCycles: 1, PredictedCycles: 10},
+		{GoldenCycles: 2, PredictedCycles: 20},
+		{GoldenCycles: 3, PredictedCycles: 30},
+	}
+	if got := rankFidelity(perfect); got != 1 {
+		t.Fatalf("perfect ordering fidelity = %g", got)
+	}
+	inverted := []DSEPoint{
+		{GoldenCycles: 1, PredictedCycles: 30},
+		{GoldenCycles: 2, PredictedCycles: 20},
+		{GoldenCycles: 3, PredictedCycles: 10},
+	}
+	if got := rankFidelity(inverted); got != 0 {
+		t.Fatalf("inverted ordering fidelity = %g", got)
+	}
+	if got := rankFidelity(perfect[:1]); got != 1 {
+		t.Fatalf("single point fidelity = %g", got)
+	}
+}
+
+func TestScalingStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps several scales")
+	}
+	r := NewRunner(testCfg)
+	rows, err := r.Scaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(scalingWorkloads) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if len(row.Points) != len(scalingScales) {
+			t.Fatalf("%s: %d points", row.Name, len(row.Points))
+		}
+		first, last := row.Points[0], row.Points[len(row.Points)-1]
+		// Speedup must grow clearly with scale (8x more invocations).
+		if last.Speedup < first.Speedup*3 {
+			t.Fatalf("%s: speedup %g -> %g not growing with scale", row.Name, first.Speedup, last.Speedup)
+		}
+		// Accuracy stays in the low single digits at every scale.
+		for _, p := range row.Points {
+			if p.Error > 0.06 {
+				t.Fatalf("%s @ %.2f: error %.1f%%", row.Name, p.Scale, 100*p.Error)
+			}
+		}
+	}
+	if tab := RenderScaling(rows); len(tab.Rows) != len(rows)*len(scalingScales) {
+		t.Fatal("rendered row count")
+	}
+}
+
+func TestBaselinesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three-way baseline comparison")
+	}
+	r := NewRunner(testCfg)
+	rows, err := r.Baselines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var s, p, tb float64
+	for _, row := range rows {
+		s += row.Sieve
+		p += row.PKS
+		tb += row.TBPoint
+	}
+	// Sieve must beat both baselines clearly on average.
+	if s*3 > p || s*3 > tb {
+		t.Fatalf("Sieve %.4f not clearly below PKS %.4f / TBPoint %.4f", s/16, p/16, tb/16)
+	}
+	if tab := RenderBaselines(rows); len(tab.Rows) != len(rows)+1 {
+		t.Fatal("rendered rows")
+	}
+}
+
+func TestCrossValidate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("traces and simulates representatives")
+	}
+	r := NewRunner(testCfg)
+	rows, err := r.CrossValidate(8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(xvalWorkloads) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.Representatives < 2 {
+			t.Fatalf("%s: %d representatives", row.Name, row.Representatives)
+		}
+		// The two substrates must agree positively on ordering.
+		if row.Spearman < 0 {
+			t.Fatalf("%s: Spearman %.3f — models anti-correlated", row.Name, row.Spearman)
+		}
+	}
+	if tab := RenderXVal(rows); len(tab.Rows) != len(rows) {
+		t.Fatal("rendered rows")
+	}
+}

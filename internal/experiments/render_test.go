@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Render functions are pure formatting; feed them synthetic rows and check
+// structure so the figure plumbing is covered without re-running pipelines.
+
+func renderToString(t *testing.T, tab *Table) string {
+	t.Helper()
+	var b strings.Builder
+	if err := tab.Print(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func syntheticEvaluations() []*Evaluation {
+	return []*Evaluation{
+		{Name: "alpha", Suite: "Cactus", SieveError: 0.01, PKSError: 0.2,
+			SieveSpeedup: 100, PKSSpeedup: 200, SieveCoV: 0.1, PKSCoV: 0.5,
+			SieveStrata: 10, PKSClusters: 5},
+		{Name: "gst", Suite: "Cactus", SieveError: 0.002, PKSError: 0.01,
+			SieveSpeedup: 1.1, PKSSpeedup: 1.2, SieveCoV: 0.3, PKSCoV: 1.5,
+			SieveStrata: 30, PKSClusters: 20},
+		{Name: "beta", Suite: "MLPerf", SieveError: 0.03, PKSError: 0.5,
+			SieveSpeedup: 300, PKSSpeedup: 150, SieveCoV: 0.2, PKSCoV: 0.9,
+			SieveStrata: 40, PKSClusters: 18},
+	}
+}
+
+func TestRenderAccuracyStructure(t *testing.T) {
+	tab := RenderAccuracy("title", syntheticEvaluations(), "note")
+	if len(tab.Rows) != 5 { // 3 workloads + average + max
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	out := renderToString(t, tab)
+	for _, want := range []string{"alpha", "average", "max", "note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in rendered table", want)
+		}
+	}
+}
+
+func TestRenderFig4Structure(t *testing.T) {
+	tab := RenderFig4(syntheticEvaluations())
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if !strings.Contains(renderToString(t, tab), "0.500") {
+		t.Fatal("CoV values missing")
+	}
+}
+
+func TestRenderFig5Structure(t *testing.T) {
+	rows := []SelectionRow{
+		{Name: "a", First: 0.2, Random: 0.1, Centroid: 0.05, Sieve: 0.01},
+		{Name: "b", First: 0.4, Random: 0.2, Centroid: 0.10, Sieve: 0.02},
+	}
+	tab := RenderFig5(rows)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	out := renderToString(t, tab)
+	if !strings.Contains(out, "30.00%") { // average of First
+		t.Fatalf("averages missing:\n%s", out)
+	}
+}
+
+func TestRenderFig6ExcludesGst(t *testing.T) {
+	tab, err := RenderFig6(syntheticEvaluations())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Harmonic mean over alpha+beta only: HM(100, 300) = 150.
+	out := renderToString(t, tab)
+	if !strings.Contains(out, "150.0x") {
+		t.Fatalf("gst not excluded from harmonic mean:\n%s", out)
+	}
+}
+
+func TestRenderFig6ErrorsOnAllGst(t *testing.T) {
+	evs := []*Evaluation{{Name: "gst", SieveSpeedup: 1, PKSSpeedup: 1}}
+	if _, err := RenderFig6(evs); err == nil {
+		t.Fatal("want error when no workload remains for the mean")
+	}
+}
+
+func TestRenderFig2Structure(t *testing.T) {
+	rows := []TierRow{
+		{Name: "w1", Fractions: [][3]float64{{0.5, 0.3, 0.2}, {0.5, 0.4, 0.1}, {0.5, 0.5, 0}}},
+		{Name: "w2", Fractions: [][3]float64{{0.2, 0.2, 0.6}, {0.2, 0.6, 0.2}, {0.2, 0.8, 0}}},
+	}
+	tab := RenderFig2(rows)
+	if len(tab.Rows) != 3 { // 2 workloads + average
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	out := renderToString(t, tab)
+	if !strings.Contains(out, "35.00%") { // avg Tier-1 at θ=0.1
+		t.Fatalf("tier averages missing:\n%s", out)
+	}
+}
+
+func TestRenderFig10Structure(t *testing.T) {
+	points := []ThetaPoint{
+		{Theta: 0.1, AvgError: 0.01, AvgSpeedupHM: 50},
+		{Theta: 1.0, AvgError: 0.05, AvgSpeedupHM: 160},
+	}
+	tab := RenderFig10(points)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if !strings.Contains(renderToString(t, tab), "160.0x") {
+		t.Fatal("speedups missing")
+	}
+}
+
+func TestRenderWarmupStructure(t *testing.T) {
+	rows := []WarmupRow{
+		{Name: "a", PerfectWarmupError: 0.01, ColdSampleError: 0.05, ColdPenalty: 1.1},
+	}
+	tab := RenderWarmup(rows)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if !strings.Contains(renderToString(t, tab), "1.10x") {
+		t.Fatal("penalty missing")
+	}
+}
+
+func TestRenderSimStudyStructure(t *testing.T) {
+	rows := []SimStudyRow{{
+		Name: "a", Representatives: 3, WarpInstrs: 1000,
+		SerialWall: 100 * time.Millisecond, ParallelWall: 40 * time.Millisecond,
+		LongestSMCycles: 5000, TotalGPUCycles: 1e6,
+	}}
+	tab := RenderSimStudy(rows)
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	out := renderToString(t, tab)
+	if !strings.Contains(out, "100ms") || !strings.Contains(out, "5000") {
+		t.Fatalf("sim fields missing:\n%s", out)
+	}
+}
+
+func TestRenderDSEStructure(t *testing.T) {
+	results := []DSEResult{{
+		Name: "a", Points: make([]DSEPoint, 11),
+		MeanError: 0.01, MaxError: 0.02, RankFidelity: 1,
+	}}
+	tab := RenderDSE(results)
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if !strings.Contains(renderToString(t, tab), "100.00%") {
+		t.Fatal("rank fidelity missing")
+	}
+}
+
+func TestRenderScalingStructure(t *testing.T) {
+	rows := []ScalingRow{{
+		Name:   "a",
+		Points: []ScalingPoint{{Scale: 0.01, Invocations: 100, Strata: 5, Error: 0.01, Speedup: 20}},
+	}}
+	tab := RenderScaling(rows)
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if !strings.Contains(renderToString(t, tab), "20.0x") {
+		t.Fatal("speedup missing")
+	}
+}
+
+func TestRenderBaselinesStructure(t *testing.T) {
+	rows := []BaselineRow{{Name: "a", Sieve: 0.01, PKS: 0.2, TBPoint: 0.3}}
+	tab := RenderBaselines(rows)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestRenderXValStructure(t *testing.T) {
+	rows := []XValRow{{Name: "a", Representatives: 9, Spearman: 0.7}}
+	tab := RenderXVal(rows)
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if !strings.Contains(renderToString(t, tab), "0.700") {
+		t.Fatal("spearman missing")
+	}
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWarmupStudyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("warmup integration study")
+	}
+	r := NewRunner(testCfg)
+	rows, err := r.WarmupStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 16 {
+		t.Fatalf("rows = %d, want 16 (Cactus + MLPerf)", len(rows))
+	}
+	var warmSum, coldSum float64
+	for _, row := range rows {
+		if row.ColdPenalty < 1 {
+			t.Fatalf("%s: cold representatives cannot be faster (penalty %.2f)", row.Name, row.ColdPenalty)
+		}
+		if row.PerfectWarmupError < 0 || row.ColdSampleError < 0 {
+			t.Fatal("negative errors")
+		}
+		warmSum += row.PerfectWarmupError
+		coldSum += row.ColdSampleError
+	}
+	// Aggregate claim: cold sampling is clearly worse than perfect warmup,
+	// but not catastrophically so for long-running invocations.
+	if coldSum <= warmSum {
+		t.Fatalf("cold sampling (%.4f) should err more than perfect warmup (%.4f)", coldSum, warmSum)
+	}
+	if coldSum/16 > 0.25 {
+		t.Fatalf("cold-sample average error %.1f%% implausibly large for long-running invocations", 100*coldSum/16)
+	}
+	tab := RenderWarmup(rows)
+	if len(tab.Rows) != len(rows)+1 {
+		t.Fatalf("rendered rows = %d", len(tab.Rows))
+	}
+	var buf strings.Builder
+	if err := tab.Print(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Warmup study") {
+		t.Fatal("rendered table missing title")
+	}
+}

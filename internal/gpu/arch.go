@@ -1,0 +1,124 @@
+// Package gpu models the GPU hardware platforms of the paper's evaluation —
+// an NVIDIA RTX 3080 (Ampere) and an RTX 2080 Ti (Turing) — and provides the
+// deterministic analytical timing model that stands in for real silicon as
+// the golden reference.
+//
+// The model is interval-style: a kernel invocation's cycle count is the
+// maximum of its compute-issue, DRAM-bandwidth and shared-memory demands,
+// inflated by exposed latency when occupancy is low, plus a fixed launch
+// overhead. Crucially, cycle count depends on the invocation's Hidden
+// microarchitectural behaviour (cache locality, row locality, unit mix,
+// working-set size) that microarchitecture-independent profiling cannot
+// observe. That dependency is what makes the PKS clusters heterogeneous in
+// execution time — the effect the paper measures — while Sieve's per-kernel
+// strata remain homogeneous.
+package gpu
+
+import "fmt"
+
+// Arch describes a GPU hardware platform.
+type Arch struct {
+	// Name is the marketing name of the card.
+	Name string
+	// Generation is the architecture family ("Ampere", "Turing").
+	Generation string
+	// SMs is the number of streaming multiprocessors.
+	SMs int
+	// ClockGHz is the sustained core clock in GHz.
+	ClockGHz float64
+	// IssuePerSM is the baseline warp instructions issued per SM per cycle.
+	IssuePerSM float64
+	// FP32Boost is the throughput multiplier applied to the FP32-eligible
+	// instruction fraction (Ampere doubled the FP32 datapath).
+	FP32Boost float64
+	// TensorBoost is the throughput multiplier applied to the
+	// tensor-pipe-eligible work fraction.
+	TensorBoost float64
+	// DRAMBandwidthGBs is the peak DRAM bandwidth in GB/s.
+	DRAMBandwidthGBs float64
+	// L2Bytes is the L2 cache capacity in bytes.
+	L2Bytes float64
+	// MemLatencyCycles is the average DRAM access latency in core cycles.
+	MemLatencyCycles float64
+	// MaxThreadsPerSM is the architectural thread-residency limit per SM.
+	MaxThreadsPerSM int
+	// SharedThroughputPerSM is shared-memory accesses served per SM per
+	// cycle (one transaction per bank-conflict-free warp access).
+	SharedThroughputPerSM float64
+	// LaunchOverheadCycles is the fixed per-kernel-launch cost in cycles.
+	LaunchOverheadCycles float64
+}
+
+// Ampere returns the RTX 3080 configuration used as the paper's baseline
+// platform: 68 SMs, 10 GB GDDR6X at 760 GB/s (Section IV).
+func Ampere() Arch {
+	return Arch{
+		Name:                  "RTX 3080",
+		Generation:            "Ampere",
+		SMs:                   68,
+		ClockGHz:              1.71,
+		IssuePerSM:            4,
+		FP32Boost:             0.85, // doubled FP32 datapath, shared with INT32
+		TensorBoost:           1.6,  // 3rd-gen tensor cores
+		DRAMBandwidthGBs:      760,
+		L2Bytes:               5 << 20,
+		MemLatencyCycles:      470,
+		MaxThreadsPerSM:       1536,
+		SharedThroughputPerSM: 4,
+		LaunchOverheadCycles:  1000,
+	}
+}
+
+// Turing returns the RTX 2080 Ti configuration used for the cross-architecture
+// experiments: 68 SMs, 11 GB GDDR6 at 616 GB/s (Section IV).
+func Turing() Arch {
+	return Arch{
+		Name:                  "RTX 2080 Ti",
+		Generation:            "Turing",
+		SMs:                   68,
+		ClockGHz:              1.545,
+		IssuePerSM:            4,
+		FP32Boost:             0, // single FP32 datapath
+		TensorBoost:           0.8,
+		DRAMBandwidthGBs:      616,
+		L2Bytes:               5632 << 10, // 5.5 MB
+		MemLatencyCycles:      440,
+		MaxThreadsPerSM:       1024,
+		SharedThroughputPerSM: 4,
+		LaunchOverheadCycles:  1000,
+	}
+}
+
+// Validate checks that every architectural parameter is physically sensible.
+func (a Arch) Validate() error {
+	switch {
+	case a.Name == "" || a.Generation == "":
+		return fmt.Errorf("gpu: arch missing name or generation")
+	case a.SMs <= 0:
+		return fmt.Errorf("gpu: %s: non-positive SM count", a.Name)
+	case a.ClockGHz <= 0:
+		return fmt.Errorf("gpu: %s: non-positive clock", a.Name)
+	case a.IssuePerSM <= 0:
+		return fmt.Errorf("gpu: %s: non-positive issue rate", a.Name)
+	case a.FP32Boost < 0 || a.TensorBoost < 0:
+		return fmt.Errorf("gpu: %s: negative throughput boost", a.Name)
+	case a.DRAMBandwidthGBs <= 0:
+		return fmt.Errorf("gpu: %s: non-positive DRAM bandwidth", a.Name)
+	case a.L2Bytes <= 0:
+		return fmt.Errorf("gpu: %s: non-positive L2 capacity", a.Name)
+	case a.MemLatencyCycles <= 0:
+		return fmt.Errorf("gpu: %s: non-positive memory latency", a.Name)
+	case a.MaxThreadsPerSM <= 0:
+		return fmt.Errorf("gpu: %s: non-positive thread residency", a.Name)
+	case a.SharedThroughputPerSM <= 0:
+		return fmt.Errorf("gpu: %s: non-positive shared-memory throughput", a.Name)
+	case a.LaunchOverheadCycles < 0:
+		return fmt.Errorf("gpu: %s: negative launch overhead", a.Name)
+	}
+	return nil
+}
+
+// BytesPerCycle returns the peak DRAM bytes transferred per core cycle.
+func (a Arch) BytesPerCycle() float64 {
+	return a.DRAMBandwidthGBs / a.ClockGHz
+}

@@ -1,0 +1,122 @@
+package gpu
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// archJSON is the on-disk form of an architecture description. Field names
+// are stable and documented in README; zero-valued fields inherit from the
+// base the file names (or Ampere when none).
+type archJSON struct {
+	Name                  string   `json:"name"`
+	Generation            string   `json:"generation"`
+	Base                  string   `json:"base,omitempty"` // "ampere" (default) or "turing"
+	SMs                   *int     `json:"sms,omitempty"`
+	ClockGHz              *float64 `json:"clock_ghz,omitempty"`
+	IssuePerSM            *float64 `json:"issue_per_sm,omitempty"`
+	FP32Boost             *float64 `json:"fp32_boost,omitempty"`
+	TensorBoost           *float64 `json:"tensor_boost,omitempty"`
+	DRAMBandwidthGBs      *float64 `json:"dram_bandwidth_gbs,omitempty"`
+	L2Bytes               *float64 `json:"l2_bytes,omitempty"`
+	MemLatencyCycles      *float64 `json:"mem_latency_cycles,omitempty"`
+	MaxThreadsPerSM       *int     `json:"max_threads_per_sm,omitempty"`
+	SharedThroughputPerSM *float64 `json:"shared_throughput_per_sm,omitempty"`
+	LaunchOverheadCycles  *float64 `json:"launch_overhead_cycles,omitempty"`
+}
+
+// ReadArch parses an architecture description from JSON. The description
+// starts from a named base configuration ("ampere" by default, or "turing")
+// and overrides any field present in the file, so design-space variants need
+// only list what changes:
+//
+//	{"name": "wide-ampere", "base": "ampere", "sms": 96, "dram_bandwidth_gbs": 1000}
+//
+// The resulting architecture is validated before being returned.
+func ReadArch(r io.Reader) (Arch, error) {
+	var cfg archJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return Arch{}, fmt.Errorf("gpu: parse arch config: %w", err)
+	}
+	var a Arch
+	switch cfg.Base {
+	case "", "ampere":
+		a = Ampere()
+	case "turing":
+		a = Turing()
+	default:
+		return Arch{}, fmt.Errorf("gpu: unknown base architecture %q", cfg.Base)
+	}
+	if cfg.Name != "" {
+		a.Name = cfg.Name
+	}
+	if cfg.Generation != "" {
+		a.Generation = cfg.Generation
+	}
+	if cfg.SMs != nil {
+		a.SMs = *cfg.SMs
+	}
+	if cfg.ClockGHz != nil {
+		a.ClockGHz = *cfg.ClockGHz
+	}
+	if cfg.IssuePerSM != nil {
+		a.IssuePerSM = *cfg.IssuePerSM
+	}
+	if cfg.FP32Boost != nil {
+		a.FP32Boost = *cfg.FP32Boost
+	}
+	if cfg.TensorBoost != nil {
+		a.TensorBoost = *cfg.TensorBoost
+	}
+	if cfg.DRAMBandwidthGBs != nil {
+		a.DRAMBandwidthGBs = *cfg.DRAMBandwidthGBs
+	}
+	if cfg.L2Bytes != nil {
+		a.L2Bytes = *cfg.L2Bytes
+	}
+	if cfg.MemLatencyCycles != nil {
+		a.MemLatencyCycles = *cfg.MemLatencyCycles
+	}
+	if cfg.MaxThreadsPerSM != nil {
+		a.MaxThreadsPerSM = *cfg.MaxThreadsPerSM
+	}
+	if cfg.SharedThroughputPerSM != nil {
+		a.SharedThroughputPerSM = *cfg.SharedThroughputPerSM
+	}
+	if cfg.LaunchOverheadCycles != nil {
+		a.LaunchOverheadCycles = *cfg.LaunchOverheadCycles
+	}
+	if err := a.Validate(); err != nil {
+		return Arch{}, err
+	}
+	return a, nil
+}
+
+// WriteArch serializes the full architecture description as JSON (all fields
+// explicit, base omitted).
+func WriteArch(a Arch, w io.Writer) error {
+	if err := a.Validate(); err != nil {
+		return err
+	}
+	cfg := archJSON{
+		Name:                  a.Name,
+		Generation:            a.Generation,
+		SMs:                   &a.SMs,
+		ClockGHz:              &a.ClockGHz,
+		IssuePerSM:            &a.IssuePerSM,
+		FP32Boost:             &a.FP32Boost,
+		TensorBoost:           &a.TensorBoost,
+		DRAMBandwidthGBs:      &a.DRAMBandwidthGBs,
+		L2Bytes:               &a.L2Bytes,
+		MemLatencyCycles:      &a.MemLatencyCycles,
+		MaxThreadsPerSM:       &a.MaxThreadsPerSM,
+		SharedThroughputPerSM: &a.SharedThroughputPerSM,
+		LaunchOverheadCycles:  &a.LaunchOverheadCycles,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cfg)
+}

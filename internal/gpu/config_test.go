@@ -1,0 +1,80 @@
+package gpu
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadArchOverridesBase(t *testing.T) {
+	in := `{"name": "wide-ampere", "sms": 96, "dram_bandwidth_gbs": 1000}`
+	a, err := ReadArch(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != "wide-ampere" || a.SMs != 96 || a.DRAMBandwidthGBs != 1000 {
+		t.Fatalf("overrides not applied: %+v", a)
+	}
+	// Unmentioned fields inherit from Ampere.
+	if a.ClockGHz != Ampere().ClockGHz || a.L2Bytes != Ampere().L2Bytes {
+		t.Fatal("base fields not inherited")
+	}
+}
+
+func TestReadArchTuringBase(t *testing.T) {
+	a, err := ReadArch(strings.NewReader(`{"base": "turing", "name": "t2"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DRAMBandwidthGBs != Turing().DRAMBandwidthGBs {
+		t.Fatal("turing base not applied")
+	}
+	if a.Name != "t2" {
+		t.Fatal("name override lost")
+	}
+}
+
+func TestReadArchErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"bad json", `{`},
+		{"unknown field", `{"name": "x", "warp_width": 64}`},
+		{"unknown base", `{"base": "volta"}`},
+		{"invalid result", `{"sms": 0}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadArch(strings.NewReader(c.in)); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+func TestArchJSONRoundTrip(t *testing.T) {
+	orig := Turing()
+	orig.Name = "custom"
+	orig.SMs = 42
+	var buf bytes.Buffer
+	if err := WriteArch(orig, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadArch(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != orig {
+		t.Fatalf("round trip changed arch:\n got %+v\nwant %+v", got, orig)
+	}
+}
+
+func TestWriteArchRejectsInvalid(t *testing.T) {
+	bad := Ampere()
+	bad.ClockGHz = 0
+	var buf bytes.Buffer
+	if err := WriteArch(bad, &buf); err == nil {
+		t.Fatal("want error for invalid arch")
+	}
+}

@@ -1,0 +1,141 @@
+package gpu
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/gpusampling/sieve/internal/cudamodel"
+)
+
+// transactionBytes is the size of one coalesced memory transaction (a 32-byte
+// sector, the granularity Nsight counts).
+const transactionBytes = 32
+
+// Model is the analytical hardware timing model for one architecture. It
+// plays the role of the paper's real GPUs: the experiments "run" every kernel
+// invocation through it to obtain golden cycle counts, and "run" the selected
+// representatives through it to obtain the sampled prediction inputs.
+type Model struct {
+	arch Arch
+}
+
+// NewModel returns a timing model for the architecture, validating it first.
+func NewModel(arch Arch) (*Model, error) {
+	if err := arch.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{arch: arch}, nil
+}
+
+// Arch returns the modeled architecture.
+func (m *Model) Arch() Arch { return m.arch }
+
+// Cycles returns the deterministic cycle count for executing inv on this
+// architecture. The invocation is not modified.
+func (m *Model) Cycles(inv *cudamodel.Invocation) float64 {
+	a := m.arch
+	c := &inv.Chars
+	h := &inv.Hidden
+
+	// --- Compute demand -------------------------------------------------
+	// Thread-level instructions issue as warp instructions; divergence
+	// inflates the issue-slot demand (inactive lanes still occupy slots).
+	warpInstr := c.InstructionCount / cudamodel.WarpSize
+	divEff := c.DivergenceEfficiency
+	if divEff <= 0 || divEff > 1 {
+		divEff = 1
+	}
+	issueDemand := warpInstr / divEff
+
+	// Unit-mix boosts: Ampere's doubled FP32 datapath and the tensor pipes
+	// raise effective issue throughput for the eligible fractions. These
+	// fractions live in Hidden — real silicon exploits them, the PKS feature
+	// vector cannot see them.
+	throughput := a.IssuePerSM * float64(a.SMs)
+	boost := 1 + a.FP32Boost*clamp01(h.FP32Fraction) + a.TensorBoost*clamp01(h.TensorFraction)
+	computeCycles := issueDemand / (throughput * boost)
+
+	// --- DRAM demand -----------------------------------------------------
+	transactions := c.CoalescedGlobalLoads + c.CoalescedGlobalStores +
+		c.CoalescedLocalLoads + c.ThreadGlobalAtomics
+	bytes := transactions * transactionBytes
+	locality := clamp01(h.CacheLocality)
+	if h.L2WorkingSet > a.L2Bytes {
+		// Working set spills past the L2: most of the would-be hits turn
+		// into DRAM traffic. The residual captures L1/register reuse.
+		locality *= 0.3
+	}
+	dramBytes := bytes * (1 - locality)
+	// Row-buffer locality scales achievable bandwidth between 55% and 100%
+	// of peak.
+	effBPC := a.BytesPerCycle() * (0.55 + 0.45*clamp01(h.RowLocality))
+	memCycles := dramBytes / effBPC
+
+	// --- Shared-memory demand ---------------------------------------------
+	sharedAccesses := (c.ThreadSharedLoads + c.ThreadSharedStores) / cudamodel.WarpSize
+	conflict := h.BankConflictFactor
+	if conflict < 1 {
+		conflict = 1
+	}
+	sharedCycles := sharedAccesses * conflict / (a.SharedThroughputPerSM * float64(a.SMs))
+
+	// --- Latency exposure -------------------------------------------------
+	// With too few resident threads the SMs cannot hide memory latency:
+	// scale the bound up smoothly as parallelism drops below the
+	// architectural residency limit.
+	parallelism := inv.Threads() / (float64(a.SMs) * float64(a.MaxThreadsPerSM))
+	if parallelism > 1 {
+		parallelism = 1
+	}
+	exposure := 1 + (a.MemLatencyCycles/2000)*(1-parallelism)
+
+	bound := math.Max(computeCycles, math.Max(memCycles, sharedCycles))
+	return bound*exposure + a.LaunchOverheadCycles
+}
+
+// IPC returns thread-level instructions per cycle for inv on this
+// architecture.
+func (m *Model) IPC(inv *cudamodel.Invocation) float64 {
+	return inv.Chars.InstructionCount / m.Cycles(inv)
+}
+
+// Seconds converts a cycle count on this architecture to wall-clock seconds.
+func (m *Model) Seconds(cycles float64) float64 {
+	return cycles / (m.arch.ClockGHz * 1e9)
+}
+
+// MeasureWorkload returns the golden per-invocation cycle counts for every
+// invocation of w, in chronological order — the paper's "cycle count per
+// kernel invocation obtained on real hardware".
+func (m *Model) MeasureWorkload(w *cudamodel.Workload) []float64 {
+	out := make([]float64, len(w.Invocations))
+	for i := range w.Invocations {
+		out[i] = m.Cycles(&w.Invocations[i])
+	}
+	return out
+}
+
+// TotalCycles returns the golden total cycle count of the full workload
+// execution — the denominator of the paper's error metric.
+func (m *Model) TotalCycles(w *cudamodel.Workload) float64 {
+	var total float64
+	for i := range w.Invocations {
+		total += m.Cycles(&w.Invocations[i])
+	}
+	return total
+}
+
+// String identifies the model.
+func (m *Model) String() string {
+	return fmt.Sprintf("gpu.Model(%s)", m.arch.Name)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,298 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+
+	"github.com/gpusampling/sieve/internal/cudamodel"
+)
+
+// testInvocation builds a mid-size memory- and compute-balanced invocation.
+func testInvocation() cudamodel.Invocation {
+	return cudamodel.Invocation{
+		Kernel: "k",
+		Grid:   cudamodel.Dim3{X: 1024, Y: 1, Z: 1},
+		Block:  cudamodel.Dim3{X: 256, Y: 1, Z: 1},
+		Chars: cudamodel.Characteristics{
+			InstructionCount:      1e9,
+			CoalescedGlobalLoads:  2e6,
+			CoalescedGlobalStores: 1e6,
+			ThreadSharedLoads:     1e7,
+			ThreadSharedStores:    5e6,
+			DivergenceEfficiency:  1,
+			ThreadBlocks:          1024,
+		},
+		Hidden: cudamodel.Hidden{
+			CacheLocality:      0.6,
+			RowLocality:        0.8,
+			FP32Fraction:       0.5,
+			BankConflictFactor: 1,
+			L2WorkingSet:       1 << 20,
+		},
+	}
+}
+
+func mustModel(t *testing.T, a Arch) *Model {
+	t.Helper()
+	m, err := NewModel(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestArchConfigsValid(t *testing.T) {
+	for _, a := range []Arch{Ampere(), Turing()} {
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+	}
+	if Ampere().SMs != 68 || Turing().SMs != 68 {
+		t.Fatal("both evaluation GPUs have 68 SMs per the paper")
+	}
+	if Ampere().DRAMBandwidthGBs != 760 || Turing().DRAMBandwidthGBs != 616 {
+		t.Fatal("paper-specified DRAM bandwidths")
+	}
+}
+
+func TestArchValidateRejections(t *testing.T) {
+	base := Ampere()
+	cases := []struct {
+		name   string
+		mutate func(*Arch)
+	}{
+		{"no name", func(a *Arch) { a.Name = "" }},
+		{"zero SMs", func(a *Arch) { a.SMs = 0 }},
+		{"zero clock", func(a *Arch) { a.ClockGHz = 0 }},
+		{"zero issue", func(a *Arch) { a.IssuePerSM = 0 }},
+		{"negative boost", func(a *Arch) { a.FP32Boost = -1 }},
+		{"zero bandwidth", func(a *Arch) { a.DRAMBandwidthGBs = 0 }},
+		{"zero L2", func(a *Arch) { a.L2Bytes = 0 }},
+		{"zero latency", func(a *Arch) { a.MemLatencyCycles = 0 }},
+		{"zero residency", func(a *Arch) { a.MaxThreadsPerSM = 0 }},
+		{"zero shared throughput", func(a *Arch) { a.SharedThroughputPerSM = 0 }},
+		{"negative launch overhead", func(a *Arch) { a.LaunchOverheadCycles = -1 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a := base
+			c.mutate(&a)
+			if err := a.Validate(); err == nil {
+				t.Fatal("want validation error")
+			}
+			if _, err := NewModel(a); err == nil {
+				t.Fatal("NewModel must reject invalid arch")
+			}
+		})
+	}
+}
+
+func TestCyclesDeterministic(t *testing.T) {
+	m := mustModel(t, Ampere())
+	inv := testInvocation()
+	a := m.Cycles(&inv)
+	b := m.Cycles(&inv)
+	if a != b {
+		t.Fatalf("nondeterministic cycles: %g vs %g", a, b)
+	}
+	if a <= 0 || math.IsNaN(a) || math.IsInf(a, 0) {
+		t.Fatalf("cycles = %g", a)
+	}
+}
+
+func TestCyclesMonotoneInInstructions(t *testing.T) {
+	m := mustModel(t, Ampere())
+	inv := testInvocation()
+	small := m.Cycles(&inv)
+	inv.Chars.InstructionCount *= 10
+	large := m.Cycles(&inv)
+	if large <= small {
+		t.Fatalf("10x instructions did not increase cycles: %g vs %g", small, large)
+	}
+}
+
+func TestCyclesMonotoneInMemoryTraffic(t *testing.T) {
+	m := mustModel(t, Ampere())
+	inv := testInvocation()
+	inv.Chars.CoalescedGlobalLoads = 1e8 // memory-bound regime
+	base := m.Cycles(&inv)
+	inv.Chars.CoalescedGlobalLoads = 5e8
+	more := m.Cycles(&inv)
+	if more <= base {
+		t.Fatalf("more DRAM traffic did not increase cycles: %g vs %g", base, more)
+	}
+}
+
+func TestCacheLocalityReducesCycles(t *testing.T) {
+	m := mustModel(t, Ampere())
+	inv := testInvocation()
+	inv.Chars.CoalescedGlobalLoads = 1e8
+	inv.Hidden.CacheLocality = 0.1
+	cold := m.Cycles(&inv)
+	inv.Hidden.CacheLocality = 0.9
+	warm := m.Cycles(&inv)
+	if warm >= cold {
+		t.Fatalf("higher locality should cut cycles: cold %g, warm %g", cold, warm)
+	}
+}
+
+func TestL2SpillDisablesLocality(t *testing.T) {
+	m := mustModel(t, Ampere())
+	inv := testInvocation()
+	inv.Chars.CoalescedGlobalLoads = 1e8
+	inv.Hidden.CacheLocality = 0.9
+	inv.Hidden.L2WorkingSet = 1 << 20 // fits
+	fits := m.Cycles(&inv)
+	inv.Hidden.L2WorkingSet = 64 << 20 // spills
+	spills := m.Cycles(&inv)
+	if spills <= fits {
+		t.Fatalf("L2 spill should cost cycles: fits %g, spills %g", fits, spills)
+	}
+}
+
+func TestDivergenceCostsCycles(t *testing.T) {
+	m := mustModel(t, Ampere())
+	inv := testInvocation()
+	inv.Chars.DivergenceEfficiency = 1
+	conv := m.Cycles(&inv)
+	inv.Chars.DivergenceEfficiency = 0.25
+	div := m.Cycles(&inv)
+	if div <= conv {
+		t.Fatalf("divergence should cost cycles: %g vs %g", conv, div)
+	}
+}
+
+func TestLowOccupancyExposesLatency(t *testing.T) {
+	m := mustModel(t, Ampere())
+	inv := testInvocation()
+	inv.Grid = cudamodel.Dim3{X: 2, Y: 1, Z: 1} // almost no parallelism
+	inv.Chars.ThreadBlocks = 2
+	tiny := m.Cycles(&inv)
+	inv.Grid = cudamodel.Dim3{X: 100000, Y: 1, Z: 1}
+	inv.Chars.ThreadBlocks = 100000
+	wide := m.Cycles(&inv)
+	// Same work, more parallelism → cheaper or equal.
+	if wide > tiny {
+		t.Fatalf("full occupancy should not be slower: tiny %g, wide %g", tiny, wide)
+	}
+}
+
+func TestBankConflictsCostCycles(t *testing.T) {
+	m := mustModel(t, Ampere())
+	inv := testInvocation()
+	inv.Chars.ThreadSharedLoads = 5e9 // shared-bound regime
+	inv.Hidden.BankConflictFactor = 1
+	clean := m.Cycles(&inv)
+	inv.Hidden.BankConflictFactor = 8
+	conflicted := m.Cycles(&inv)
+	if conflicted <= clean {
+		t.Fatalf("bank conflicts should cost cycles: %g vs %g", clean, conflicted)
+	}
+}
+
+func TestFP32FractionHelpsAmpereOnly(t *testing.T) {
+	amp := mustModel(t, Ampere())
+	tur := mustModel(t, Turing())
+	inv := testInvocation()
+	inv.Chars.CoalescedGlobalLoads = 0 // compute-bound
+	inv.Chars.CoalescedGlobalStores = 0
+	inv.Chars.ThreadSharedLoads = 0
+	inv.Chars.ThreadSharedStores = 0
+
+	inv.Hidden.FP32Fraction = 0
+	ampScalar := amp.Cycles(&inv)
+	turScalar := tur.Cycles(&inv)
+	inv.Hidden.FP32Fraction = 1
+	ampFP := amp.Cycles(&inv)
+	turFP := tur.Cycles(&inv)
+
+	if ampFP >= ampScalar {
+		t.Fatalf("FP32 fraction should speed up Ampere: %g vs %g", ampScalar, ampFP)
+	}
+	if turFP != turScalar {
+		t.Fatalf("Turing has no FP32 boost: %g vs %g", turScalar, turFP)
+	}
+}
+
+func TestIPCAndSeconds(t *testing.T) {
+	m := mustModel(t, Ampere())
+	inv := testInvocation()
+	cycles := m.Cycles(&inv)
+	ipc := m.IPC(&inv)
+	if math.Abs(ipc*cycles-inv.Chars.InstructionCount) > 1e-6*inv.Chars.InstructionCount {
+		t.Fatalf("IPC inconsistent: ipc %g × cycles %g != instr %g", ipc, cycles, inv.Chars.InstructionCount)
+	}
+	secs := m.Seconds(cycles)
+	if math.Abs(secs-cycles/(1.71e9)) > 1e-12*secs {
+		t.Fatalf("Seconds = %g", secs)
+	}
+}
+
+func TestMeasureWorkloadAndTotal(t *testing.T) {
+	m := mustModel(t, Ampere())
+	inv := testInvocation()
+	w := &cudamodel.Workload{
+		Name:        "w",
+		Invocations: []cudamodel.Invocation{inv, inv, inv},
+	}
+	for i := range w.Invocations {
+		w.Invocations[i].Index = i
+		w.Invocations[i].Seq = i
+	}
+	per := m.MeasureWorkload(w)
+	if len(per) != 3 {
+		t.Fatalf("per-invocation count %d", len(per))
+	}
+	var sum float64
+	for _, c := range per {
+		sum += c
+	}
+	if got := m.TotalCycles(w); math.Abs(got-sum) > 1e-9*sum {
+		t.Fatalf("TotalCycles %g != sum %g", got, sum)
+	}
+}
+
+func TestCrossArchDifference(t *testing.T) {
+	// A heavily memory-bound invocation must run in fewer cycles on the
+	// higher-bytes-per-cycle Ampere part.
+	amp := mustModel(t, Ampere())
+	tur := mustModel(t, Turing())
+	inv := testInvocation()
+	inv.Chars.CoalescedGlobalLoads = 1e9
+	inv.Hidden.CacheLocality = 0
+	ampC := amp.Cycles(&inv)
+	turC := tur.Cycles(&inv)
+	if ampC >= turC {
+		t.Fatalf("memory-bound work should favor Ampere in cycles: A %g, T %g", ampC, turC)
+	}
+	// Working set between 5 MB and 5.5 MB: fits Turing L2 only → Turing can
+	// win wall-clock despite the lower clock.
+	inv.Hidden.CacheLocality = 0.95
+	inv.Hidden.L2WorkingSet = 5.25 * (1 << 20)
+	ampT := amp.Seconds(amp.Cycles(&inv))
+	turT := tur.Seconds(tur.Cycles(&inv))
+	if turT >= ampT {
+		t.Fatalf("L2-straddling working set should favor Turing: A %gs, T %gs", ampT, turT)
+	}
+}
+
+func TestBytesPerCycle(t *testing.T) {
+	a := Ampere()
+	want := 760.0 / 1.71
+	if math.Abs(a.BytesPerCycle()-want) > 1e-9 {
+		t.Fatalf("BytesPerCycle = %g, want %g", a.BytesPerCycle(), want)
+	}
+}
+
+func TestLaunchOverheadFloorsTinyKernels(t *testing.T) {
+	m := mustModel(t, Ampere())
+	inv := testInvocation()
+	inv.Chars.InstructionCount = 1
+	inv.Chars.CoalescedGlobalLoads = 0
+	inv.Chars.CoalescedGlobalStores = 0
+	inv.Chars.ThreadSharedLoads = 0
+	inv.Chars.ThreadSharedStores = 0
+	if c := m.Cycles(&inv); c < Ampere().LaunchOverheadCycles {
+		t.Fatalf("tiny kernel cycles %g below launch overhead", c)
+	}
+}

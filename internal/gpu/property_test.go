@@ -1,0 +1,106 @@
+package gpu
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/gpusampling/sieve/internal/cudamodel"
+)
+
+// randomInvocation draws a structurally valid invocation.
+func randomInvocation(rng *rand.Rand) cudamodel.Invocation {
+	instr := math.Pow(10, 6+rng.Float64()*3)
+	return cudamodel.Invocation{
+		Kernel: "k",
+		Grid:   cudamodel.Dim3{X: int32(1 + rng.Intn(100000)), Y: 1, Z: 1},
+		Block:  cudamodel.Dim3{X: int32(32 * (1 + rng.Intn(32))), Y: 1, Z: 1},
+		Chars: cudamodel.Characteristics{
+			InstructionCount:      instr,
+			CoalescedGlobalLoads:  instr * rng.Float64() * 0.05,
+			CoalescedGlobalStores: instr * rng.Float64() * 0.02,
+			ThreadSharedLoads:     instr * rng.Float64() * 0.2,
+			ThreadSharedStores:    instr * rng.Float64() * 0.1,
+			DivergenceEfficiency:  0.2 + rng.Float64()*0.8,
+			ThreadBlocks:          float64(1 + rng.Intn(100000)),
+		},
+		Hidden: cudamodel.Hidden{
+			CacheLocality:      rng.Float64(),
+			RowLocality:        rng.Float64(),
+			FP32Fraction:       rng.Float64(),
+			TensorFraction:     rng.Float64() * 0.5,
+			BankConflictFactor: 1 + rng.Float64()*4,
+			L2WorkingSet:       math.Pow(10, 4+rng.Float64()*5),
+		},
+	}
+}
+
+// TestPropertyCyclesPositiveFinite: every structurally valid invocation
+// yields positive finite cycles on both architectures.
+func TestPropertyCyclesPositiveFinite(t *testing.T) {
+	amp, _ := NewModel(Ampere())
+	tur, _ := NewModel(Turing())
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inv := randomInvocation(rng)
+		for _, m := range []*Model{amp, tur} {
+			c := m.Cycles(&inv)
+			if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+				return false
+			}
+			if ipc := m.IPC(&inv); ipc <= 0 || math.IsInf(ipc, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyCyclesMonotoneInWork: scaling every work-proportional counter
+// up never reduces cycles.
+func TestPropertyCyclesMonotoneInWork(t *testing.T) {
+	m, _ := NewModel(Ampere())
+	f := func(seed int64, rawScale uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inv := randomInvocation(rng)
+		base := m.Cycles(&inv)
+		scale := 1 + float64(rawScale%50)/10 // 1..5.9
+		big := inv
+		big.Chars.InstructionCount *= scale
+		big.Chars.CoalescedGlobalLoads *= scale
+		big.Chars.CoalescedGlobalStores *= scale
+		big.Chars.ThreadSharedLoads *= scale
+		big.Chars.ThreadSharedStores *= scale
+		return m.Cycles(&big) >= base-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyLocalityNeverHurts: raising hidden cache locality never
+// increases cycles (fixed working set below the L2 capacity).
+func TestPropertyLocalityNeverHurts(t *testing.T) {
+	m, _ := NewModel(Ampere())
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inv := randomInvocation(rng)
+		inv.Hidden.L2WorkingSet = 1 << 20 // fits: isolate the locality term
+		lo := inv
+		hi := inv
+		a, b := rng.Float64(), rng.Float64()
+		if a > b {
+			a, b = b, a
+		}
+		lo.Hidden.CacheLocality = a
+		hi.Hidden.CacheLocality = b
+		return m.Cycles(&hi) <= m.Cycles(&lo)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

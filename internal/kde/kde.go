@@ -1,0 +1,162 @@
+// Package kde implements one-dimensional Gaussian kernel density estimation,
+// the tool Sieve uses to split high-variability (Tier-3) kernels into strata
+// (Section III-B of the paper): the estimated density over instruction counts
+// is cut at its local minima ("valleys"), grouping invocations into modes so
+// that per-stratum dispersion stays below the CoV threshold.
+package kde
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Estimator is a fitted 1-D Gaussian kernel density estimator.
+type Estimator struct {
+	samples   []float64 // sorted copy of the input
+	bandwidth float64
+}
+
+// invSqrt2Pi is 1/√(2π), the Gaussian kernel normalization constant.
+var invSqrt2Pi = 1 / math.Sqrt(2*math.Pi)
+
+// New fits a Gaussian KDE to xs with the given bandwidth. A bandwidth ≤ 0
+// selects Silverman's rule of thumb. It returns an error for empty input.
+func New(xs []float64, bandwidth float64) (*Estimator, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("kde: no samples")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if bandwidth <= 0 {
+		bandwidth = SilvermanBandwidth(sorted)
+	}
+	return &Estimator{samples: sorted, bandwidth: bandwidth}, nil
+}
+
+// Bandwidth returns the estimator's bandwidth.
+func (e *Estimator) Bandwidth() float64 { return e.bandwidth }
+
+// N returns the number of fitted samples.
+func (e *Estimator) N() int { return len(e.samples) }
+
+// Density evaluates the estimated probability density at x.
+func (e *Estimator) Density(x float64) float64 {
+	h := e.bandwidth
+	var acc float64
+	// Samples are sorted: only those within 6h of x contribute more than
+	// ~1e-8 of the kernel mass, so bound the scan with binary search.
+	lo := sort.SearchFloat64s(e.samples, x-6*h)
+	hi := sort.SearchFloat64s(e.samples, x+6*h)
+	for _, s := range e.samples[lo:hi] {
+		u := (x - s) / h
+		acc += math.Exp(-0.5 * u * u)
+	}
+	return acc * invSqrt2Pi / (float64(len(e.samples)) * h)
+}
+
+// Grid evaluates the density on n evenly spaced points spanning the sample
+// range extended by 3 bandwidths on each side. It returns parallel slices of
+// positions and densities. n must be at least 2.
+func (e *Estimator) Grid(n int) (xs, ds []float64, err error) {
+	if n < 2 {
+		return nil, nil, fmt.Errorf("kde: grid needs at least 2 points, got %d", n)
+	}
+	lo := e.samples[0] - 3*e.bandwidth
+	hi := e.samples[len(e.samples)-1] + 3*e.bandwidth
+	xs = make([]float64, n)
+	ds = make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range xs {
+		xs[i] = lo + float64(i)*step
+		ds[i] = e.Density(xs[i])
+	}
+	return xs, ds, nil
+}
+
+// SilvermanBandwidth returns Silverman's rule-of-thumb bandwidth
+// 0.9·min(σ, IQR/1.34)·n^(-1/5), with fallbacks for degenerate samples so the
+// result is always positive.
+func SilvermanBandwidth(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 1
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+
+	var mean float64
+	for _, x := range sorted {
+		mean += x
+	}
+	mean /= float64(n)
+	var varAcc float64
+	for _, x := range sorted {
+		d := x - mean
+		varAcc += d * d
+	}
+	sigma := math.Sqrt(varAcc / float64(n))
+
+	iqr := quantileSorted(sorted, 0.75) - quantileSorted(sorted, 0.25)
+	spread := sigma
+	if iqr > 0 && iqr/1.34 < spread {
+		spread = iqr / 1.34
+	}
+	if spread == 0 {
+		// Constant (or near-constant) sample: any positive bandwidth yields a
+		// single mode, which is the behaviour the stratifier wants.
+		if mean != 0 {
+			spread = math.Abs(mean) * 1e-3
+		} else {
+			spread = 1
+		}
+	}
+	return 0.9 * spread * math.Pow(float64(n), -0.2)
+}
+
+// ScottBandwidth returns Scott's rule bandwidth σ·n^(-1/5), with the same
+// degenerate-sample fallback as SilvermanBandwidth.
+func ScottBandwidth(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 1
+	}
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	var varAcc float64
+	for _, x := range xs {
+		d := x - mean
+		varAcc += d * d
+	}
+	sigma := math.Sqrt(varAcc / float64(n))
+	if sigma == 0 {
+		if mean != 0 {
+			sigma = math.Abs(mean) * 1e-3
+		} else {
+			sigma = 1
+		}
+	}
+	return sigma * math.Pow(float64(n), -0.2)
+}
+
+// quantileSorted returns the q-quantile (0 ≤ q ≤ 1) of an already-sorted
+// sample using linear interpolation.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := q * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

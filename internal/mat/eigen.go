@@ -1,0 +1,115 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Eigen holds the eigendecomposition of a symmetric matrix: Values[i] is the
+// i-th eigenvalue (sorted descending) and the i-th column of Vectors is the
+// corresponding unit eigenvector.
+type Eigen struct {
+	Values  []float64
+	Vectors *Matrix
+}
+
+// maxJacobiSweeps bounds the cyclic Jacobi iteration; 12x12 covariance
+// matrices converge in a handful of sweeps, so hitting the bound indicates a
+// malformed (e.g. NaN-contaminated) input.
+const maxJacobiSweeps = 100
+
+// SymmetricEigen computes the eigendecomposition of a symmetric matrix using
+// the cyclic Jacobi method. The input is not modified. It returns an error if
+// the matrix is not square/symmetric or the iteration fails to converge.
+func SymmetricEigen(m *Matrix) (*Eigen, error) {
+	if !m.IsSymmetric(1e-9) {
+		return nil, fmt.Errorf("mat: SymmetricEigen requires a symmetric matrix")
+	}
+	n := m.rows
+	a := m.Clone()
+	v := Identity(n)
+
+	offDiag := func() float64 {
+		var s float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s += a.At(i, j) * a.At(i, j)
+			}
+		}
+		return s
+	}
+
+	for sweep := 0; sweep < maxJacobiSweeps; sweep++ {
+		if offDiag() < 1e-22 {
+			break
+		}
+		if sweep == maxJacobiSweeps-1 {
+			return nil, fmt.Errorf("mat: Jacobi eigendecomposition did not converge in %d sweeps", maxJacobiSweeps)
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := a.At(p, p), a.At(q, q)
+				// Rotation angle that zeroes a[p][q].
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+
+				for k := 0; k < n; k++ {
+					akp, akq := a.At(k, p), a.At(k, q)
+					a.Set(k, p, c*akp-s*akq)
+					a.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := a.At(p, k), a.At(q, k)
+					a.Set(p, k, c*apk-s*aqk)
+					a.Set(q, k, s*apk+c*aqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+
+	// Extract, then sort eigenpairs by descending eigenvalue.
+	type pair struct {
+		val float64
+		vec []float64
+	}
+	pairs := make([]pair, n)
+	for i := 0; i < n; i++ {
+		pairs[i] = pair{val: a.At(i, i), vec: v.Col(i)}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].val > pairs[j].val })
+
+	e := &Eigen{Values: make([]float64, n), Vectors: New(n, n)}
+	for i, p := range pairs {
+		e.Values[i] = p.val
+		for k := 0; k < n; k++ {
+			e.Vectors.Set(k, i, p.vec[k])
+		}
+	}
+	return e, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}

@@ -1,0 +1,193 @@
+// Package mat provides the small dense-matrix substrate needed by the PKS
+// baseline's principal component analysis: a row-major matrix type,
+// column standardization, covariance, and a Jacobi eigendecomposition for
+// symmetric matrices.
+//
+// The package is intentionally minimal — the PKS feature space is 12-wide,
+// so numerical sophistication beyond a well-tested Jacobi sweep is
+// unnecessary.
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// New returns a zero rows×cols matrix. It panics if either dimension is
+// non-positive, since a zero-size matrix is always a programming error here.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices. All rows must be the same
+// non-zero length.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, fmt.Errorf("mat: FromRows with empty input")
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("mat: row %d has %d columns, want %d", i, len(r), cols)
+		}
+		copy(m.data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	out := make([]float64, m.rows)
+	for i := range out {
+		out[i] = m.At(i, j)
+	}
+	return out
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Mul returns m × b. It returns an error when the inner dimensions differ.
+func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
+	if m.cols != b.rows {
+		return nil, fmt.Errorf("mat: cannot multiply %dx%d by %dx%d", m.rows, m.cols, b.rows, b.cols)
+	}
+	out := New(m.rows, b.cols)
+	for i := 0; i < m.rows; i++ {
+		for k := 0; k < m.cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < b.cols; j++ {
+				out.data[i*out.cols+j] += a * b.At(k, j)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	out := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// ColumnStats holds the per-column mean and standard deviation produced by
+// Standardize, needed to project new samples into the same space.
+type ColumnStats struct {
+	Mean   []float64
+	StdDev []float64
+}
+
+// Standardize returns a copy of m with each column shifted to zero mean and
+// scaled to unit standard deviation, together with the applied statistics.
+// Constant columns (zero standard deviation) are centered but left unscaled;
+// their recorded StdDev is 1 so that inverse transforms stay well defined.
+func (m *Matrix) Standardize() (*Matrix, *ColumnStats) {
+	out := m.Clone()
+	cs := &ColumnStats{Mean: make([]float64, m.cols), StdDev: make([]float64, m.cols)}
+	for j := 0; j < m.cols; j++ {
+		var mean float64
+		for i := 0; i < m.rows; i++ {
+			mean += m.At(i, j)
+		}
+		mean /= float64(m.rows)
+		var varAcc float64
+		for i := 0; i < m.rows; i++ {
+			d := m.At(i, j) - mean
+			varAcc += d * d
+		}
+		sd := math.Sqrt(varAcc / float64(m.rows))
+		if sd == 0 {
+			sd = 1
+		}
+		cs.Mean[j], cs.StdDev[j] = mean, sd
+		for i := 0; i < m.rows; i++ {
+			out.Set(i, j, (m.At(i, j)-mean)/sd)
+		}
+	}
+	return out, cs
+}
+
+// Covariance returns the cols×cols sample covariance matrix of m's columns,
+// dividing by n (population form, matching Standardize). It returns an error
+// for matrices with fewer than two rows.
+func (m *Matrix) Covariance() (*Matrix, error) {
+	if m.rows < 2 {
+		return nil, fmt.Errorf("mat: covariance needs at least 2 rows, have %d", m.rows)
+	}
+	means := make([]float64, m.cols)
+	for j := 0; j < m.cols; j++ {
+		for i := 0; i < m.rows; i++ {
+			means[j] += m.At(i, j)
+		}
+		means[j] /= float64(m.rows)
+	}
+	cov := New(m.cols, m.cols)
+	for a := 0; a < m.cols; a++ {
+		for b := a; b < m.cols; b++ {
+			var acc float64
+			for i := 0; i < m.rows; i++ {
+				acc += (m.At(i, a) - means[a]) * (m.At(i, b) - means[b])
+			}
+			acc /= float64(m.rows)
+			cov.Set(a, b, acc)
+			cov.Set(b, a, acc)
+		}
+	}
+	return cov, nil
+}
+
+// IsSymmetric reports whether m is square and symmetric within tol.
+func (m *Matrix) IsSymmetric(tol float64) bool {
+	if m.rows != m.cols {
+		return false
+	}
+	for i := 0; i < m.rows; i++ {
+		for j := i + 1; j < m.cols; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}

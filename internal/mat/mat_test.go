@@ -1,0 +1,319 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("dims = %dx%d", m.Rows(), m.Cols())
+	}
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatal("Set/At round trip failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0, 1) should panic")
+		}
+	}()
+	New(0, 1)
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatal("FromRows wrong layout")
+	}
+	if _, err := FromRows(nil); err == nil {
+		t.Fatal("want error on empty input")
+	}
+	if _, err := FromRows([][]float64{{1}, {1, 2}}); err == nil {
+		t.Fatal("want error on ragged input")
+	}
+}
+
+func TestRowColClone(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	r := m.Row(1)
+	if r[0] != 3 || r[1] != 4 {
+		t.Fatalf("Row = %v", r)
+	}
+	c := m.Col(0)
+	if c[0] != 1 || c[1] != 3 {
+		t.Fatalf("Col = %v", c)
+	}
+	// Returned slices are copies.
+	r[0] = 99
+	c[0] = 99
+	if m.At(1, 0) != 3 || m.At(0, 0) != 1 {
+		t.Fatal("Row/Col leaked internal storage")
+	}
+	cl := m.Clone()
+	cl.Set(0, 0, -1)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	p, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if p.At(i, j) != want[i][j] {
+				t.Fatalf("Mul[%d][%d] = %g, want %g", i, j, p.At(i, j), want[i][j])
+			}
+		}
+	}
+	c := New(3, 3)
+	if _, err := a.Mul(c); err == nil {
+		t.Fatal("want error on dimension mismatch")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("transpose dims %dx%d", tr.Rows(), tr.Cols())
+	}
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatal("transpose mismatch")
+			}
+		}
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 10}, {3, 10}, {5, 10}})
+	std, cs := m.Standardize()
+	// Column 0: mean 3, population sd sqrt(8/3).
+	if !almostEqual(cs.Mean[0], 3, 1e-12) {
+		t.Fatalf("mean = %g", cs.Mean[0])
+	}
+	var mean0, var0 float64
+	for i := 0; i < 3; i++ {
+		mean0 += std.At(i, 0)
+	}
+	mean0 /= 3
+	for i := 0; i < 3; i++ {
+		d := std.At(i, 0) - mean0
+		var0 += d * d
+	}
+	var0 /= 3
+	if !almostEqual(mean0, 0, 1e-12) || !almostEqual(var0, 1, 1e-12) {
+		t.Fatalf("standardized column: mean=%g var=%g", mean0, var0)
+	}
+	// Constant column: centered, sd recorded as 1.
+	if cs.StdDev[1] != 1 {
+		t.Fatalf("constant column sd = %g, want 1", cs.StdDev[1])
+	}
+	for i := 0; i < 3; i++ {
+		if std.At(i, 1) != 0 {
+			t.Fatal("constant column should standardize to zero")
+		}
+	}
+	// Original untouched.
+	if m.At(0, 0) != 1 {
+		t.Fatal("Standardize mutated input")
+	}
+}
+
+func TestCovariance(t *testing.T) {
+	// Perfectly correlated columns.
+	m, _ := FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	cov, err := m.Covariance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(cov.At(0, 0), 2.0/3, 1e-12) {
+		t.Fatalf("var(x) = %g", cov.At(0, 0))
+	}
+	if !almostEqual(cov.At(0, 1), 4.0/3, 1e-12) {
+		t.Fatalf("cov(x,y) = %g", cov.At(0, 1))
+	}
+	if cov.At(0, 1) != cov.At(1, 0) {
+		t.Fatal("covariance not symmetric")
+	}
+	one := New(1, 2)
+	if _, err := one.Covariance(); err == nil {
+		t.Fatal("want error for single-row covariance")
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	s, _ := FromRows([][]float64{{1, 2}, {2, 1}})
+	if !s.IsSymmetric(0) {
+		t.Fatal("symmetric matrix not detected")
+	}
+	a, _ := FromRows([][]float64{{1, 2}, {3, 1}})
+	if a.IsSymmetric(0.5) {
+		t.Fatal("asymmetric matrix passed")
+	}
+	r := New(2, 3)
+	if r.IsSymmetric(1) {
+		t.Fatal("non-square matrix cannot be symmetric")
+	}
+}
+
+func TestSymmetricEigenKnown(t *testing.T) {
+	// [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+	m, _ := FromRows([][]float64{{2, 1}, {1, 2}})
+	e, err := SymmetricEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(e.Values[0], 3, 1e-9) || !almostEqual(e.Values[1], 1, 1e-9) {
+		t.Fatalf("eigenvalues = %v", e.Values)
+	}
+	// Eigenvector for λ=3 is (1,1)/√2 up to sign.
+	v0 := e.Vectors.Col(0)
+	if !almostEqual(math.Abs(v0[0]), 1/math.Sqrt2, 1e-9) || !almostEqual(v0[0], v0[1], 1e-9) {
+		t.Fatalf("first eigenvector = %v", v0)
+	}
+}
+
+func TestSymmetricEigenDiagonal(t *testing.T) {
+	m, _ := FromRows([][]float64{{5, 0, 0}, {0, -2, 0}, {0, 0, 3}})
+	e, err := SymmetricEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 3, -2}
+	for i, w := range want {
+		if !almostEqual(e.Values[i], w, 1e-9) {
+			t.Fatalf("eigenvalues = %v, want %v", e.Values, want)
+		}
+	}
+}
+
+func TestSymmetricEigenRejectsAsymmetric(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	if _, err := SymmetricEigen(m); err == nil {
+		t.Fatal("want error for asymmetric input")
+	}
+}
+
+// randomSymmetric builds a random symmetric PSD-ish matrix AᵀA.
+func randomSymmetric(rng *rand.Rand, n int) *Matrix {
+	a := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+	}
+	at := a.Transpose()
+	s, _ := at.Mul(a)
+	return s
+}
+
+func TestSymmetricEigenReconstruction(t *testing.T) {
+	// A = V Λ Vᵀ must reconstruct the input, and trace must equal Σλ.
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(8)
+		s := randomSymmetric(rng, n)
+		e, err := SymmetricEigen(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var trace, sum float64
+		for i := 0; i < n; i++ {
+			trace += s.At(i, i)
+			sum += e.Values[i]
+		}
+		if !almostEqual(trace, sum, 1e-6) {
+			t.Fatalf("trace %g != eigenvalue sum %g", trace, sum)
+		}
+		// Reconstruct.
+		lam := New(n, n)
+		for i := 0; i < n; i++ {
+			lam.Set(i, i, e.Values[i])
+		}
+		vl, _ := e.Vectors.Mul(lam)
+		rec, _ := vl.Mul(e.Vectors.Transpose())
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if !almostEqual(rec.At(i, j), s.At(i, j), 1e-6) {
+					t.Fatalf("reconstruction mismatch at (%d,%d): %g vs %g", i, j, rec.At(i, j), s.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestSymmetricEigenOrthonormalVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	s := randomSymmetric(rng, 6)
+	e, err := SymmetricEigen(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vt := e.Vectors.Transpose()
+	prod, _ := vt.Mul(e.Vectors)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !almostEqual(prod.At(i, j), want, 1e-8) {
+				t.Fatalf("VᵀV[%d][%d] = %g, want %g", i, j, prod.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestEigenValuesSortedDescendingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		e, err := SymmetricEigen(randomSymmetric(rng, n))
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(e.Values); i++ {
+			if e.Values[i] > e.Values[i-1]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	m := Identity(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Fatal("not identity")
+			}
+		}
+	}
+}

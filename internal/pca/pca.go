@@ -1,0 +1,141 @@
+// Package pca implements principal component analysis over standardized
+// feature matrices — the dimensionality-reduction stage of the PKS baseline.
+// PKS profiles 12 microarchitecture-independent characteristics per kernel
+// invocation, standardizes them, and projects onto the leading principal
+// components before clustering.
+package pca
+
+import (
+	"fmt"
+
+	"github.com/gpusampling/sieve/internal/mat"
+)
+
+// Model is a fitted PCA transform.
+type Model struct {
+	// Components holds the principal axes as columns (dims × k).
+	Components *mat.Matrix
+	// Explained holds the eigenvalues (variance along each component),
+	// sorted descending, for all original dimensions.
+	Explained []float64
+	// Stats holds the standardization applied before the eigendecomposition.
+	Stats *mat.ColumnStats
+	// Kept is the number of retained components.
+	Kept int
+}
+
+// Fit computes a PCA of the rows of data (observations × features),
+// standardizing features first and retaining the smallest number of leading
+// components whose cumulative explained-variance ratio reaches varFraction
+// (0 < varFraction ≤ 1). At least one component is always kept.
+func Fit(data *mat.Matrix, varFraction float64) (*Model, error) {
+	if varFraction <= 0 || varFraction > 1 {
+		return nil, fmt.Errorf("pca: variance fraction %g outside (0, 1]", varFraction)
+	}
+	if data.Rows() < 2 {
+		return nil, fmt.Errorf("pca: need at least 2 observations, have %d", data.Rows())
+	}
+	std, cs := data.Standardize()
+	cov, err := std.Covariance()
+	if err != nil {
+		return nil, fmt.Errorf("pca: %w", err)
+	}
+	eig, err := mat.SymmetricEigen(cov)
+	if err != nil {
+		return nil, fmt.Errorf("pca: %w", err)
+	}
+
+	var total float64
+	for _, v := range eig.Values {
+		if v > 0 {
+			total += v
+		}
+	}
+	kept := 1
+	if total > 0 {
+		var acc float64
+		kept = 0
+		for _, v := range eig.Values {
+			if v > 0 {
+				acc += v
+			}
+			kept++
+			if acc/total >= varFraction {
+				break
+			}
+		}
+		if kept == 0 {
+			kept = 1
+		}
+	}
+
+	return &Model{Components: eig.Vectors, Explained: eig.Values, Stats: cs, Kept: kept}, nil
+}
+
+// Transform projects the rows of data into the retained component space,
+// applying the model's standardization first. data must have the same number
+// of features the model was fitted on.
+func (m *Model) Transform(data *mat.Matrix) (*mat.Matrix, error) {
+	dims := len(m.Stats.Mean)
+	if data.Cols() != dims {
+		return nil, fmt.Errorf("pca: data has %d features, model fitted on %d", data.Cols(), dims)
+	}
+	out := mat.New(data.Rows(), m.Kept)
+	for i := 0; i < data.Rows(); i++ {
+		for c := 0; c < m.Kept; c++ {
+			var acc float64
+			for j := 0; j < dims; j++ {
+				z := (data.At(i, j) - m.Stats.Mean[j]) / m.Stats.StdDev[j]
+				acc += z * m.Components.At(j, c)
+			}
+			out.Set(i, c, acc)
+		}
+	}
+	return out, nil
+}
+
+// FitTransform fits a model on data and returns both the model and the
+// projected rows.
+func FitTransform(data *mat.Matrix, varFraction float64) (*Model, *mat.Matrix, error) {
+	m, err := Fit(data, varFraction)
+	if err != nil {
+		return nil, nil, err
+	}
+	proj, err := m.Transform(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, proj, nil
+}
+
+// ExplainedRatio returns the fraction of total variance captured by each
+// component (same order as Explained). Non-positive eigenvalues (numerical
+// noise) contribute zero.
+func (m *Model) ExplainedRatio() []float64 {
+	var total float64
+	for _, v := range m.Explained {
+		if v > 0 {
+			total += v
+		}
+	}
+	out := make([]float64, len(m.Explained))
+	if total == 0 {
+		return out
+	}
+	for i, v := range m.Explained {
+		if v > 0 {
+			out[i] = v / total
+		}
+	}
+	return out
+}
+
+// Rows converts a projected matrix into row-major point slices, the input
+// shape the clustering substrate expects.
+func Rows(m *mat.Matrix) [][]float64 {
+	out := make([][]float64, m.Rows())
+	for i := range out {
+		out[i] = m.Row(i)
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/gpusampling/sieve/internal/mat"
+)
+
+func TestFitValidation(t *testing.T) {
+	m, _ := mat.FromRows([][]float64{{1, 2}, {3, 4}})
+	if _, err := Fit(m, 0); err == nil {
+		t.Fatal("want error on zero variance fraction")
+	}
+	if _, err := Fit(m, 1.5); err == nil {
+		t.Fatal("want error on variance fraction > 1")
+	}
+	one, _ := mat.FromRows([][]float64{{1, 2}})
+	if _, err := Fit(one, 0.9); err == nil {
+		t.Fatal("want error on single observation")
+	}
+}
+
+func TestFitPerfectlyCorrelatedData(t *testing.T) {
+	// y = 2x: one component should explain everything.
+	rows := make([][]float64, 50)
+	rng := rand.New(rand.NewSource(1))
+	for i := range rows {
+		x := rng.NormFloat64()
+		rows[i] = []float64{x, 2 * x}
+	}
+	data, _ := mat.FromRows(rows)
+	m, err := Fit(data, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kept != 1 {
+		t.Fatalf("Kept = %d, want 1", m.Kept)
+	}
+	ratios := m.ExplainedRatio()
+	if ratios[0] < 0.999 {
+		t.Fatalf("first component explains %g, want ≈1", ratios[0])
+	}
+}
+
+func TestFitIndependentDataKeepsAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rows := make([][]float64, 500)
+	for i := range rows {
+		rows[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	data, _ := mat.FromRows(rows)
+	m, err := Fit(data, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kept != 3 {
+		t.Fatalf("independent features: Kept = %d, want 3", m.Kept)
+	}
+}
+
+func TestExplainedRatioSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rows := make([][]float64, 100)
+	for i := range rows {
+		x := rng.NormFloat64()
+		rows[i] = []float64{x, x + rng.NormFloat64()*0.1, rng.NormFloat64()}
+	}
+	data, _ := mat.FromRows(rows)
+	m, err := Fit(data, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, r := range m.ExplainedRatio() {
+		if r < 0 {
+			t.Fatalf("negative explained ratio %g", r)
+		}
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("explained ratios sum to %g", sum)
+	}
+}
+
+func TestTransformShapeAndMismatch(t *testing.T) {
+	rows := [][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 10}}
+	data, _ := mat.FromRows(rows)
+	m, proj, err := FitTransform(data, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Rows() != 3 || proj.Cols() != m.Kept {
+		t.Fatalf("projection %dx%d, want 3x%d", proj.Rows(), proj.Cols(), m.Kept)
+	}
+	wrong, _ := mat.FromRows([][]float64{{1, 2}})
+	if _, err := m.Transform(wrong); err == nil {
+		t.Fatal("want error on feature-count mismatch")
+	}
+}
+
+func TestTransformPreservesPairwiseDistancesFullRank(t *testing.T) {
+	// Keeping all components, PCA is a rotation of the standardized data:
+	// pairwise distances in standardized space must be preserved.
+	rng := rand.New(rand.NewSource(4))
+	rows := make([][]float64, 40)
+	for i := range rows {
+		rows[i] = []float64{rng.NormFloat64(), rng.NormFloat64() * 5, rng.NormFloat64() * 0.2}
+	}
+	data, _ := mat.FromRows(rows)
+	m, proj, err := FitTransform(data, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kept != 3 {
+		t.Skipf("data happened to be rank-deficient (kept %d)", m.Kept)
+	}
+	std, _ := data.Standardize()
+	for trial := 0; trial < 50; trial++ {
+		i, j := rng.Intn(40), rng.Intn(40)
+		var dStd, dProj float64
+		for c := 0; c < 3; c++ {
+			d := std.At(i, c) - std.At(j, c)
+			dStd += d * d
+			p := proj.At(i, c) - proj.At(j, c)
+			dProj += p * p
+		}
+		if math.Abs(dStd-dProj) > 1e-6*(1+dStd) {
+			t.Fatalf("distance not preserved: %g vs %g", dStd, dProj)
+		}
+	}
+}
+
+func TestTransformFirstComponentAlignsWithDominantAxis(t *testing.T) {
+	// Strongly elongated cloud along (1, 1): first PC scores should separate
+	// the two ends of the cloud.
+	rng := rand.New(rand.NewSource(5))
+	rows := make([][]float64, 200)
+	for i := range rows {
+		tt := rng.NormFloat64() * 10
+		rows[i] = []float64{tt + rng.NormFloat64()*0.1, tt + rng.NormFloat64()*0.1}
+	}
+	data, _ := mat.FromRows(rows)
+	_, proj, err := FitTransform(data, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Correlation between x0 and PC1 score should be ~±1.
+	var sx, sy, sxy, sxx, syy float64
+	n := float64(data.Rows())
+	for i := 0; i < data.Rows(); i++ {
+		x, y := data.At(i, 0), proj.At(i, 0)
+		sx += x
+		sy += y
+		sxy += x * y
+		sxx += x * x
+		syy += y * y
+	}
+	cov := sxy/n - (sx/n)*(sy/n)
+	vx := sxx/n - (sx/n)*(sx/n)
+	vy := syy/n - (sy/n)*(sy/n)
+	corr := cov / math.Sqrt(vx*vy)
+	if math.Abs(corr) < 0.999 {
+		t.Fatalf("|corr(x, PC1)| = %g, want ≈1", math.Abs(corr))
+	}
+}
+
+func TestRows(t *testing.T) {
+	m, _ := mat.FromRows([][]float64{{1, 2}, {3, 4}})
+	rows := Rows(m)
+	if len(rows) != 2 || rows[1][0] != 3 {
+		t.Fatalf("Rows = %v", rows)
+	}
+	rows[0][0] = 99
+	if m.At(0, 0) != 1 {
+		t.Fatal("Rows leaked matrix storage")
+	}
+}
+
+func TestFitConstantColumn(t *testing.T) {
+	// A constant feature must not break fitting (zero-variance guard).
+	rows := [][]float64{{1, 7}, {2, 7}, {3, 7}, {4, 7}}
+	data, _ := mat.FromRows(rows)
+	m, proj, err := FitTransform(data, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kept < 1 {
+		t.Fatal("must keep at least one component")
+	}
+	if proj.Rows() != 4 {
+		t.Fatalf("projection rows = %d", proj.Rows())
+	}
+}

@@ -1,0 +1,83 @@
+package pks
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/gpusampling/sieve/internal/stats"
+)
+
+// PredictCycles estimates the application's total cycle count per the PKS
+// estimator: the sum over clusters of (cluster size × representative cycle
+// count). cycles supplies measured/simulated cycles by invocation index.
+func (r *Result) PredictCycles(cycles func(invocationIndex int) (float64, error)) (float64, error) {
+	if len(r.Clusters) == 0 {
+		return 0, fmt.Errorf("pks: no clusters to predict from")
+	}
+	var total float64
+	for ci := range r.Clusters {
+		c := &r.Clusters[ci]
+		v, err := cycles(c.Representative)
+		if err != nil {
+			return 0, fmt.Errorf("pks: cycle source for invocation %d: %w", c.Representative, err)
+		}
+		if v <= 0 {
+			return 0, fmt.Errorf("pks: non-positive cycle count %g for invocation %d", v, c.Representative)
+		}
+		total += float64(c.Size()) * v
+	}
+	return total, nil
+}
+
+// RepresentativeIndices returns the selected invocation indices, ascending.
+func (r *Result) RepresentativeIndices() []int {
+	out := make([]int, len(r.Clusters))
+	for i := range r.Clusters {
+		out[i] = r.Clusters[i].Representative
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Speedup returns total golden cycles divided by the representatives'
+// cycles — the same simulation-speedup definition used for Sieve
+// (Section IV).
+func (r *Result) Speedup(goldenCycles []float64) (float64, error) {
+	var total, reps float64
+	for _, c := range goldenCycles {
+		total += c
+	}
+	for ci := range r.Clusters {
+		rep := r.Clusters[ci].Representative
+		if rep < 0 || rep >= len(goldenCycles) {
+			return 0, fmt.Errorf("pks: representative %d outside golden cycles (%d)", rep, len(goldenCycles))
+		}
+		reps += goldenCycles[rep]
+	}
+	if reps == 0 {
+		return 0, fmt.Errorf("pks: representatives have zero cycles")
+	}
+	return total / reps, nil
+}
+
+// WeightedCycleCoV returns the invocation-weighted mean coefficient of
+// variation of cycle counts within clusters — PKS's side of Fig. 4.
+func (r *Result) WeightedCycleCoV(goldenCycles []float64) (float64, error) {
+	var num, den float64
+	for ci := range r.Clusters {
+		c := &r.Clusters[ci]
+		var acc stats.Accumulator
+		for _, idx := range c.Invocations {
+			if idx < 0 || idx >= len(goldenCycles) {
+				return 0, fmt.Errorf("pks: invocation %d outside golden cycles (%d)", idx, len(goldenCycles))
+			}
+			acc.Add(goldenCycles[idx])
+		}
+		num += acc.CoV() * float64(c.Size())
+		den += float64(c.Size())
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("pks: no invocations in clusters")
+	}
+	return num / den, nil
+}

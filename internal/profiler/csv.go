@@ -1,0 +1,148 @@
+package profiler
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/gpusampling/sieve/internal/cudamodel"
+)
+
+// fixedColumns are the non-metric CSV columns, in order.
+var fixedColumns = []string{"kernel", "index", "seq", "cta_size"}
+
+// WriteCSV serializes the profile as CSV: a header of fixed columns followed
+// by the collected metric names, then one row per record. This matches the
+// paper's workflow where "the data is converted into a readable CSV file
+// which serves as input to PKS and Sieve".
+func (p *Profile) WriteCSV(w io.Writer) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	header := append(append([]string{}, fixedColumns...), p.Collected...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("profiler: write header: %w", err)
+	}
+	names := cudamodel.CharacteristicNames()
+	colIdx := make([]int, 0, len(p.Collected))
+	for _, m := range p.Collected {
+		found := -1
+		for j, n := range names {
+			if n == m {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			return fmt.Errorf("profiler: unknown metric %q", m)
+		}
+		colIdx = append(colIdx, found)
+	}
+	row := make([]string, len(header))
+	for _, r := range p.Records {
+		row[0] = r.Kernel
+		row[1] = strconv.Itoa(r.Index)
+		row[2] = strconv.Itoa(r.Seq)
+		row[3] = strconv.Itoa(r.CTASize)
+		vec := r.Chars.Vector()
+		for c, j := range colIdx {
+			row[len(fixedColumns)+c] = strconv.FormatFloat(vec[j], 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("profiler: write record %d: %w", r.Index, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a profile previously written by WriteCSV. Workload, Suite,
+// Tool and WallSeconds are not stored in the CSV and are left for the caller
+// to fill in.
+func ReadCSV(r io.Reader) (*Profile, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("profiler: read header: %w", err)
+	}
+	if len(header) < len(fixedColumns)+1 {
+		return nil, fmt.Errorf("profiler: header has %d columns, want at least %d", len(header), len(fixedColumns)+1)
+	}
+	for i, want := range fixedColumns {
+		if header[i] != want {
+			return nil, fmt.Errorf("profiler: column %d is %q, want %q", i, header[i], want)
+		}
+	}
+	metrics := header[len(fixedColumns):]
+	names := cudamodel.CharacteristicNames()
+	colIdx := make([]int, 0, len(metrics))
+	for _, m := range metrics {
+		found := -1
+		for j, n := range names {
+			if n == m {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("profiler: unknown metric column %q", m)
+		}
+		colIdx = append(colIdx, found)
+	}
+
+	p := &Profile{Collected: metrics}
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("profiler: line %d: %w", line, err)
+		}
+		rec := Record{Kernel: row[0]}
+		if rec.Index, err = strconv.Atoi(row[1]); err != nil {
+			return nil, fmt.Errorf("profiler: line %d: bad index: %w", line, err)
+		}
+		if rec.Seq, err = strconv.Atoi(row[2]); err != nil {
+			return nil, fmt.Errorf("profiler: line %d: bad seq: %w", line, err)
+		}
+		if rec.CTASize, err = strconv.Atoi(row[3]); err != nil {
+			return nil, fmt.Errorf("profiler: line %d: bad cta_size: %w", line, err)
+		}
+		vec := make([]float64, cudamodel.NumCharacteristics)
+		for c, j := range colIdx {
+			v, err := strconv.ParseFloat(row[len(fixedColumns)+c], 64)
+			if err != nil {
+				return nil, fmt.Errorf("profiler: line %d: bad %s: %w", line, metrics[c], err)
+			}
+			vec[j] = v
+		}
+		rec.Chars = charsFromVector(vec)
+		p.Records = append(p.Records, rec)
+	}
+	if len(p.Records) == 0 {
+		return nil, fmt.Errorf("profiler: CSV contains no records")
+	}
+	return p, nil
+}
+
+// charsFromVector rebuilds a Characteristics struct from a Vector()-ordered
+// slice.
+func charsFromVector(v []float64) cudamodel.Characteristics {
+	return cudamodel.Characteristics{
+		CoalescedGlobalLoads:  v[0],
+		CoalescedGlobalStores: v[1],
+		CoalescedLocalLoads:   v[2],
+		ThreadGlobalLoads:     v[3],
+		ThreadGlobalStores:    v[4],
+		ThreadLocalLoads:      v[5],
+		ThreadSharedLoads:     v[6],
+		ThreadSharedStores:    v[7],
+		ThreadGlobalAtomics:   v[8],
+		InstructionCount:      v[9],
+		DivergenceEfficiency:  v[10],
+		ThreadBlocks:          v[11],
+	}
+}

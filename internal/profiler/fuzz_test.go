@@ -1,0 +1,72 @@
+package profiler
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/gpusampling/sieve/internal/cudamodel"
+	"github.com/gpusampling/sieve/internal/gpu"
+	"github.com/gpusampling/sieve/internal/workloads"
+)
+
+// FuzzReadCSV exercises the profile-CSV parser with arbitrary input: it must
+// never panic, and any accepted profile must survive a write/read round
+// trip once the caller-supplied fields are filled in.
+func FuzzReadCSV(f *testing.F) {
+	w := testWorkloadForFuzz(f)
+	hw := testHWForFuzz(f)
+	full, err := NewFullProfiler().Profile(w, hw)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var seed bytes.Buffer
+	if err := full.WriteCSV(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add("")
+	f.Add("kernel,index,seq,cta_size,instruction_count\nk,0,0,128,5\n")
+	f.Add("kernel,index\nbroken\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		p, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		p.Workload = "fuzz"
+		if err := p.Validate(); err != nil {
+			// ReadCSV does not enforce full profile validity (indices may be
+			// non-chronological in foreign CSVs); it must only parse safely.
+			return
+		}
+		var buf bytes.Buffer
+		if err := p.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted profile cannot be rewritten: %v", err)
+		}
+		if _, err := ReadCSV(&buf); err != nil {
+			t.Fatalf("rewritten profile cannot be reread: %v", err)
+		}
+	})
+}
+
+func testWorkloadForFuzz(f *testing.F) *cudamodel.Workload {
+	f.Helper()
+	spec, err := workloads.ByName("dwt2d")
+	if err != nil {
+		f.Fatal(err)
+	}
+	w, err := workloads.Generate(spec, 1.0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return w
+}
+
+func testHWForFuzz(f *testing.F) *gpu.Model {
+	f.Helper()
+	m, err := gpu.NewModel(gpu.Ampere())
+	if err != nil {
+		f.Fatal(err)
+	}
+	return m
+}

@@ -1,0 +1,405 @@
+// Package sim is a trace-driven, cycle-level GPU simulator in the spirit of
+// Accel-sim: it replays SASS-like traces (package trace) through a model of
+// one streaming multiprocessor with warp scheduling, opcode latencies, an
+// L1/L2 cache hierarchy and a bandwidth-limited DRAM, and extrapolates
+// whole-GPU cycles from the per-SM result.
+//
+// It exists for the paper's Section V-G workflow: after Sieve selects
+// representative kernel invocations, only their traces are simulated —
+// serially on one core or dispatched in parallel, where total time is set by
+// the longest-running kernel.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/gpusampling/sieve/internal/gpu"
+	"github.com/gpusampling/sieve/internal/trace"
+)
+
+// Latencies for the opcode classes, in core cycles. Values follow published
+// microbenchmark ranges for Turing/Ampere-class parts.
+const (
+	latALU    = 4
+	latFP     = 4
+	latTensor = 16
+	latBranch = 6
+	latShared = 22
+	latL1     = 28
+	latL2     = 190
+	latDRAM   = 420
+)
+
+// cache geometry
+const (
+	lineBytes = 128
+	l1Bytes   = 128 << 10
+	l1Ways    = 4
+	l2Ways    = 16
+)
+
+// memSystem bundles the shared part of the memory hierarchy: the L2, the
+// DRAM channel, and the MSHR-style in-flight miss table that merges
+// concurrent requests to the same line (a second requester waits for the
+// outstanding fill instead of consuming DRAM bandwidth again).
+type memSystem struct {
+	l2         *cache
+	inFlight   map[uint64]uint64 // line -> fill-completion cycle
+	dramFreeAt uint64
+	dramEvery  uint64
+
+	l1Hits, l1Refs int
+	l2Hits, l2Refs int
+}
+
+func newMemSystem(arch gpu.Arch) *memSystem {
+	return &memSystem{
+		l2:        newCache(int(arch.L2Bytes)/lineBytes/l2Ways, l2Ways),
+		inFlight:  make(map[uint64]uint64),
+		dramEvery: uint64(lineBytes/arch.BytesPerCycle()) + 1,
+	}
+}
+
+// access serves one line through the hierarchy (private L1, shared L2,
+// MSHR-merged DRAM) and returns its latency from cycle. An L2 miss installs
+// the line only once its DRAM fill completes; until then concurrent
+// requesters merge onto the outstanding fill instead of consuming DRAM
+// bandwidth again.
+func (m *memSystem) access(l1 *cache, line, cycle uint64) uint64 {
+	m.l1Refs++
+	if l1.access(line) {
+		m.l1Hits++
+		return latL1
+	}
+	m.l2Refs++
+	if fillAt, ok := m.inFlight[line]; ok {
+		if fillAt > cycle {
+			// Merged with the outstanding fill.
+			return fillAt - cycle
+		}
+		// The fill has completed: install the line.
+		delete(m.inFlight, line)
+		m.l2.insert(line)
+	}
+	if m.l2.lookup(line) {
+		m.l2Hits++
+		return latL2
+	}
+	start := cycle
+	if m.dramFreeAt > start {
+		start = m.dramFreeAt
+	}
+	m.dramFreeAt = start + m.dramEvery
+	lat := (start - cycle) + latDRAM
+	m.inFlight[line] = cycle + lat
+	return lat
+}
+
+// Result summarizes one simulated trace.
+type Result struct {
+	// Kernel and Invocation identify the simulated trace.
+	Kernel     string
+	Invocation int
+	// Cycles is the estimated whole-GPU cycle count for the invocation.
+	Cycles float64
+	// SMCycles is the simulated cycle count of the modeled SM.
+	SMCycles uint64
+	// WarpInstructions is the number of executed warp instructions.
+	WarpInstructions int
+	// IPC is warp instructions per SM cycle on the modeled SM.
+	IPC float64
+	// L1HitRate and L2HitRate summarize the memory hierarchy behaviour.
+	L1HitRate, L2HitRate float64
+}
+
+// Simulator replays traces against one architecture.
+type Simulator struct {
+	arch gpu.Arch
+}
+
+// New returns a Simulator for the architecture.
+func New(arch gpu.Arch) (*Simulator, error) {
+	if err := arch.Validate(); err != nil {
+		return nil, err
+	}
+	return &Simulator{arch: arch}, nil
+}
+
+// Arch returns the simulated architecture.
+func (s *Simulator) Arch() gpu.Arch { return s.arch }
+
+// warpState tracks one in-flight warp.
+type warpState struct {
+	next    int    // index of the next instruction in the warp's stream
+	readyAt uint64 // cycle at which the warp may issue again
+	done    bool
+}
+
+// Simulate replays one trace and returns its result.
+func (s *Simulator) Simulate(t *trace.Trace) (*Result, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	// Split the stream per warp, preserving program order.
+	perWarp := make([][]trace.Instr, t.Warps)
+	for _, ins := range t.Instrs {
+		perWarp[ins.Warp] = append(perWarp[ins.Warp], ins)
+	}
+
+	l1 := newCache(l1Bytes/lineBytes/l1Ways, l1Ways)
+	mem := newMemSystem(s.arch)
+
+	warps := make([]warpState, t.Warps)
+	remaining := 0
+	for w := range perWarp {
+		if len(perWarp[w]) == 0 {
+			warps[w].done = true
+			continue
+		}
+		remaining++
+	}
+	if remaining == 0 {
+		return nil, fmt.Errorf("sim: trace has no instructions in any warp")
+	}
+
+	var (
+		cycle    uint64
+		executed int
+	)
+	issueWidth := int(s.arch.IssuePerSM)
+	if issueWidth < 1 {
+		issueWidth = 1
+	}
+	rr := 0 // round-robin pointer
+
+	for remaining > 0 {
+		issued := 0
+		scanned := 0
+		for issued < issueWidth && scanned < len(warps) {
+			w := (rr + scanned) % len(warps)
+			scanned++
+			ws := &warps[w]
+			if ws.done || ws.readyAt > cycle {
+				continue
+			}
+			ins := perWarp[w][ws.next]
+			lat := s.latency(ins, l1, mem, cycle)
+			ws.readyAt = cycle + lat
+			ws.next++
+			executed++
+			issued++
+			if ws.next == len(perWarp[w]) {
+				ws.done = true
+				remaining--
+			}
+		}
+		rr = (rr + 1) % len(warps)
+		if issued == 0 {
+			// Nothing ready: jump to the earliest wake-up instead of
+			// stepping cycle by cycle.
+			nextWake := ^uint64(0)
+			for w := range warps {
+				if !warps[w].done && warps[w].readyAt > cycle && warps[w].readyAt < nextWake {
+					nextWake = warps[w].readyAt
+				}
+			}
+			if nextWake == ^uint64(0) {
+				return nil, fmt.Errorf("sim: deadlock with %d warps remaining", remaining)
+			}
+			cycle = nextWake
+			continue
+		}
+		cycle++
+	}
+
+	res := &Result{
+		Kernel:           t.Kernel,
+		Invocation:       t.Invocation,
+		SMCycles:         cycle,
+		WarpInstructions: executed,
+	}
+	if cycle > 0 {
+		res.IPC = float64(executed) / float64(cycle)
+	}
+	if mem.l1Refs > 0 {
+		res.L1HitRate = float64(mem.l1Hits) / float64(mem.l1Refs)
+	}
+	if mem.l2Refs > 0 {
+		res.L2HitRate = float64(mem.l2Hits) / float64(mem.l2Refs)
+	}
+	// The modeled SM executes the traced warps; a full launch spreads its
+	// CTAs across all SMs, so whole-GPU cycles scale with the untraced
+	// work divided by the SM count (waves of equal-shaped warps).
+	totalWarps := float64(t.Grid.Count()) * float64((t.Block.Count()+31)/32)
+	tracedWarps := float64(t.Warps)
+	waves := totalWarps / (tracedWarps * float64(s.arch.SMs))
+	if waves < 1 {
+		waves = 1
+	}
+	res.Cycles = float64(cycle)*waves + s.arch.LaunchOverheadCycles
+	return res, nil
+}
+
+// latency computes an instruction's issue-to-ready latency, updating the
+// memory-system state for memory operations.
+func (s *Simulator) latency(ins trace.Instr, l1 *cache, mem *memSystem, cycle uint64) uint64 {
+	switch {
+	case ins.Op == trace.OpEXIT:
+		return 1
+	case ins.Op == trace.OpBRA:
+		return latBranch
+	case ins.Op == trace.OpHMMA:
+		return latTensor
+	case ins.Op == trace.OpFFMA:
+		return latFP
+	case ins.Op.IsShared():
+		return latShared
+	case ins.Op.IsMemory():
+		// An uncoalesced warp access touches several lines; the sectors are
+		// fetched in parallel where possible, so the warp's latency is the
+		// worst line's, while every DRAM line consumes channel bandwidth.
+		lines := ins.Lines
+		if lines < 1 {
+			lines = 1
+		}
+		var worst uint64 = latL1
+		for l := 0; l < lines; l++ {
+			line := ins.Addr/lineBytes + uint64(l)
+			if lat := mem.access(l1, line, cycle); lat > worst {
+				worst = lat
+			}
+		}
+		return worst
+	default:
+		return latALU
+	}
+}
+
+// --- serial / parallel dispatch ------------------------------------------------
+
+// SimulateAll replays every trace serially and returns per-trace results in
+// input order.
+func (s *Simulator) SimulateAll(traces []*trace.Trace) ([]*Result, error) {
+	out := make([]*Result, len(traces))
+	for i, t := range traces {
+		r, err := s.Simulate(t)
+		if err != nil {
+			return nil, fmt.Errorf("sim: trace %d (%s/%d): %w", i, t.Kernel, t.Invocation, err)
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// SimulateParallel replays the traces across workers goroutines (each trace
+// file dispatched to a separate core, as in Section V-G). workers ≤ 0 uses
+// GOMAXPROCS. Results are returned in input order.
+func (s *Simulator) SimulateParallel(traces []*trace.Trace, workers int) ([]*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]*Result, len(traces))
+	errs := make([]error, len(traces))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, t := range traces {
+		wg.Add(1)
+		go func(i int, t *trace.Trace) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = s.Simulate(t)
+		}(i, t)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sim: trace %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// --- simple set-associative LRU cache ------------------------------------------
+
+type cache struct {
+	sets int
+	ways int
+	tags []uint64 // sets × ways, 0 = empty
+	age  []uint64
+	tick uint64
+}
+
+func newCache(sets, ways int) *cache {
+	if sets < 1 {
+		sets = 1
+	}
+	if ways < 1 {
+		ways = 1
+	}
+	return &cache{
+		sets: sets,
+		ways: ways,
+		tags: make([]uint64, sets*ways),
+		age:  make([]uint64, sets*ways),
+	}
+}
+
+// lookup reports whether the line is resident, refreshing its recency on a
+// hit without inserting on a miss.
+func (c *cache) lookup(line uint64) bool {
+	c.tick++
+	tag := line + 1
+	set := int(line % uint64(c.sets))
+	base := set * c.ways
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == tag {
+			c.age[i] = c.tick
+			return true
+		}
+	}
+	return false
+}
+
+// insert installs the line, evicting the set's LRU way if needed.
+func (c *cache) insert(line uint64) {
+	c.tick++
+	tag := line + 1
+	set := int(line % uint64(c.sets))
+	base := set * c.ways
+	victim, oldest := base, ^uint64(0)
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == tag {
+			c.age[i] = c.tick
+			return
+		}
+		if c.age[i] < oldest {
+			victim, oldest = i, c.age[i]
+		}
+	}
+	c.tags[victim] = tag
+	c.age[victim] = c.tick
+}
+
+// access looks line up, inserting on miss; reports hit.
+func (c *cache) access(line uint64) bool {
+	c.tick++
+	tag := line + 1 // shift so 0 means empty
+	set := int(line % uint64(c.sets))
+	base := set * c.ways
+	victim, oldest := base, ^uint64(0)
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == tag {
+			c.age[i] = c.tick
+			return true
+		}
+		if c.age[i] < oldest {
+			victim, oldest = i, c.age[i]
+		}
+	}
+	c.tags[victim] = tag
+	c.age[victim] = c.tick
+	return false
+}

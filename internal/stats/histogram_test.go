@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewHistogramBasic(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	h, err := NewHistogram(xs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Counts) != 5 {
+		t.Fatalf("bins = %d, want 5", len(h.Counts))
+	}
+	if h.Total() != len(xs) {
+		t.Fatalf("Total = %d, want %d", h.Total(), len(xs))
+	}
+	for i, c := range h.Counts {
+		if c != 2 {
+			t.Fatalf("bin %d count = %d, want 2", i, c)
+		}
+	}
+}
+
+func TestNewHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(nil, 3); err == nil {
+		t.Fatal("want error on empty sample")
+	}
+	if _, err := NewHistogram([]float64{1}, 0); err == nil {
+		t.Fatal("want error on zero bins")
+	}
+}
+
+func TestNewHistogramDegenerate(t *testing.T) {
+	h, err := NewHistogram([]float64{7, 7, 7}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Counts) != 1 || h.Counts[0] != 3 {
+		t.Fatalf("degenerate histogram = %+v", h)
+	}
+}
+
+func TestHistogramMaxLandsInLastBin(t *testing.T) {
+	h, err := NewHistogram([]float64{0, 10}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Counts[len(h.Counts)-1] != 1 {
+		t.Fatalf("max not in last bin: %v", h.Counts)
+	}
+	if got := h.Bin(10); got != 3 {
+		t.Fatalf("Bin(max) = %d, want 3", got)
+	}
+	if got := h.Bin(-5); got != 0 {
+		t.Fatalf("Bin below range = %d, want 0", got)
+	}
+	if got := h.Bin(99); got != 3 {
+		t.Fatalf("Bin above range = %d, want 3", got)
+	}
+}
+
+func TestHistogramTotalPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(500)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 1e6
+		}
+		bins := 1 + rng.Intn(32)
+		h, err := NewHistogram(xs, bins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Total() != n {
+			t.Fatalf("lost samples: total %d, want %d", h.Total(), n)
+		}
+	}
+}
+
+func TestHistogramMode(t *testing.T) {
+	xs := []float64{1, 5, 5, 5, 9}
+	h, err := NewHistogram(xs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Mode(); got != 1 {
+		t.Fatalf("Mode = %d, want 1 (middle bin)", got)
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	h, err := NewHistogram([]float64{0, 8}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := h.Edges()
+	want := []float64{0, 2, 4, 6, 8}
+	if len(edges) != len(want) {
+		t.Fatalf("edges = %v", edges)
+	}
+	for i := range want {
+		if !almostEqual(edges[i], want[i], 1e-12) {
+			t.Fatalf("edges[%d] = %g, want %g", i, edges[i], want[i])
+		}
+	}
+}
+
+func TestFreedmanDiaconisBins(t *testing.T) {
+	if got := FreedmanDiaconisBins(nil, 10); got != 1 {
+		t.Fatalf("empty sample bins = %d, want 1", got)
+	}
+	if got := FreedmanDiaconisBins([]float64{5, 5, 5}, 10); got != 1 {
+		t.Fatalf("constant sample bins = %d, want 1", got)
+	}
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	got := FreedmanDiaconisBins(xs, 64)
+	if got < 2 || got > 64 {
+		t.Fatalf("normal sample bins = %d, want in [2, 64]", got)
+	}
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/gpusampling/sieve/internal/cudamodel"
+)
+
+// randomTrace builds an arbitrary-but-valid trace from a seed.
+func randomTrace(seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	warps := 1 + rng.Intn(6)
+	tr := &Trace{
+		Kernel:     "k" + string(rune('a'+rng.Intn(26))),
+		Invocation: rng.Intn(1000),
+		Grid:       cudamodel.Dim3{X: int32(1 + rng.Intn(100)), Y: int32(1 + rng.Intn(4)), Z: 1},
+		Block:      cudamodel.Dim3{X: int32(32 * (1 + rng.Intn(8))), Y: 1, Z: 1},
+		Warps:      warps,
+	}
+	ops := []Opcode{OpIMAD, OpFFMA, OpHMMA, OpLDG, OpSTG, OpLDS, OpSTS, OpBRA}
+	for w := 0; w < warps; w++ {
+		pc := uint64(0x1000)
+		n := 1 + rng.Intn(30)
+		for i := 0; i < n; i++ {
+			ins := Instr{
+				Warp:       w,
+				PC:         pc,
+				Op:         ops[rng.Intn(len(ops))],
+				ActiveMask: uint32(rng.Uint64() | 1), // never empty
+			}
+			if ins.Op.IsMemory() || ins.Op.IsShared() {
+				ins.Addr = rng.Uint64() >> 12
+			}
+			if ins.Op.IsMemory() {
+				ins.Lines = 1 + rng.Intn(32)
+			}
+			tr.Instrs = append(tr.Instrs, ins)
+			pc += 16
+		}
+		tr.Instrs = append(tr.Instrs, Instr{Warp: w, PC: pc, Op: OpEXIT, ActiveMask: 0xFFFFFFFF})
+	}
+	return tr
+}
+
+// TestPropertyRoundTripIdentity: Write∘Read is the identity on every valid
+// trace.
+func TestPropertyRoundTripIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := randomTrace(seed)
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Kernel != tr.Kernel || got.Invocation != tr.Invocation ||
+			got.Grid != tr.Grid || got.Block != tr.Block || got.Warps != tr.Warps {
+			return false
+		}
+		if len(got.Instrs) != len(tr.Instrs) {
+			return false
+		}
+		for i := range tr.Instrs {
+			if got.Instrs[i] != tr.Instrs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyGeneratedTracesAlwaysValid: the tracer emits valid traces for
+// any invocation of any catalog workload shape.
+func TestPropertyGeneratedTracesAlwaysValid(t *testing.T) {
+	f := func(seed int64, cap uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		inv := &cudamodel.Invocation{
+			Kernel: "k",
+			Index:  rng.Intn(100),
+			Grid:   cudamodel.Dim3{X: int32(1 + rng.Intn(5000)), Y: 1, Z: 1},
+			Block:  cudamodel.Dim3{X: int32(32 * (1 + rng.Intn(16))), Y: 1, Z: 1},
+			Chars: cudamodel.Characteristics{
+				InstructionCount:     float64(1+rng.Intn(1<<20)) * 32,
+				ThreadGlobalLoads:    float64(rng.Intn(1 << 16)),
+				ThreadGlobalStores:   float64(rng.Intn(1 << 14)),
+				ThreadSharedLoads:    float64(rng.Intn(1 << 14)),
+				ThreadSharedStores:   float64(rng.Intn(1 << 12)),
+				DivergenceEfficiency: 0.5 + rng.Float64()*0.5,
+				ThreadBlocks:         float64(1 + rng.Intn(5000)),
+			},
+			Hidden: cudamodel.Hidden{
+				CacheLocality: rng.Float64(),
+				RowLocality:   rng.Float64(),
+				L2WorkingSet:  float64(rng.Intn(1 << 24)),
+			},
+		}
+		maxInstrs := int(cap%20000) + 16
+		tr, err := Generate(inv, maxInstrs, seed)
+		if err != nil {
+			return false
+		}
+		if tr.Validate() != nil {
+			return false
+		}
+		// The cap holds (plus one EXIT per warp).
+		return len(tr.Instrs) <= maxInstrs+tr.Warps+tr.Warps*4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

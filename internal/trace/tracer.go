@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/gpusampling/sieve/internal/cudamodel"
+)
+
+// DefaultMaxWarpInstrs caps generated traces. Representative kernel
+// invocations routinely execute billions of thread instructions; tracing a
+// bounded prefix per warp keeps trace files and simulation time manageable
+// while preserving the instruction mix (the paper's PKP observation that
+// per-kernel IPC converges quickly justifies prefix simulation).
+const DefaultMaxWarpInstrs = 100000
+
+// Generate synthesizes the SASS-like trace of one kernel invocation,
+// standing in for the modified Accel-sim/NVBit tracer. The instruction mix,
+// divergence, memory footprint and address locality are derived from the
+// invocation's characteristics and hidden behaviour; generation is
+// deterministic in (invocation, seed).
+//
+// maxWarpInstrs caps the total traced warp instructions (≤ 0 selects
+// DefaultMaxWarpInstrs).
+func Generate(inv *cudamodel.Invocation, maxWarpInstrs int, seed int64) (*Trace, error) {
+	if inv.Chars.InstructionCount <= 0 {
+		return nil, fmt.Errorf("trace: invocation %d has no instructions", inv.Index)
+	}
+	if maxWarpInstrs <= 0 {
+		maxWarpInstrs = DefaultMaxWarpInstrs
+	}
+	rng := rand.New(rand.NewSource(seed ^ int64(inv.Index)*0x9E3779B9))
+
+	totalWarpInstrs := int(inv.Chars.InstructionCount / cudamodel.WarpSize)
+	if totalWarpInstrs < 1 {
+		totalWarpInstrs = 1
+	}
+	if totalWarpInstrs > maxWarpInstrs {
+		totalWarpInstrs = maxWarpInstrs
+	}
+	// Trace a bounded number of warps, each with a proportional share of
+	// the stream; at least one warp and at least a few instructions each.
+	warps := int(inv.Warps())
+	const maxTracedWarps = 256
+	if warps > maxTracedWarps {
+		warps = maxTracedWarps
+	}
+	if warps < 1 {
+		warps = 1
+	}
+	perWarp := totalWarpInstrs / warps
+	if perWarp < 4 {
+		perWarp = 4
+	}
+
+	c := &inv.Chars
+	instr := c.InstructionCount
+	// Per-instruction emission probabilities from the profiled mix.
+	pLoad := c.ThreadGlobalLoads / instr
+	pStore := c.ThreadGlobalStores / instr
+	pSharedLoad := c.ThreadSharedLoads / instr
+	pSharedStore := c.ThreadSharedStores / instr
+	pBranch := 0.05
+	pTensor := inv.Hidden.TensorFraction * 0.5
+	pFP := inv.Hidden.FP32Fraction * 0.6
+
+	// Coalescing degree: how many 128-byte lines a warp's 32 lanes touch per
+	// global access, derived from the profiled transaction-per-access ratio.
+	loadLines := coalescingLines(c.CoalescedGlobalLoads, c.ThreadGlobalLoads)
+	storeLines := coalescingLines(c.CoalescedGlobalStores, c.ThreadGlobalStores)
+
+	// Address stream: a working set reused with probability ≈ CacheLocality,
+	// fresh streaming addresses otherwise.
+	workingSet := uint64(inv.Hidden.L2WorkingSet)
+	if workingSet < 4096 {
+		workingSet = 4096
+	}
+	const lineBytes = 128
+	divergedMask := uint32(0xFFFF) // half the lanes active
+	fullMask := uint32(0xFFFFFFFF)
+
+	t := &Trace{
+		Kernel:     inv.Kernel,
+		Invocation: inv.Index,
+		Grid:       inv.Grid,
+		Block:      inv.Block,
+		Warps:      warps,
+	}
+	t.Instrs = make([]Instr, 0, warps*perWarp+warps)
+
+	stream := uint64(1 << 32) // streaming region base
+	for w := 0; w < warps; w++ {
+		pc := uint64(0x1000)
+		base := uint64(w) * workingSet / uint64(warps)
+		// Recently-touched lines of this warp: reuse draws re-touch one of
+		// them, so the trace's realized cache hit rate tracks the hidden
+		// locality instead of depending on working-set geometry.
+		var hot [8]uint64
+		hotN := 0
+		for i := 0; i < perWarp; i++ {
+			mask := fullMask
+			if c.DivergenceEfficiency < 1 && rng.Float64() > c.DivergenceEfficiency {
+				mask = divergedMask
+			}
+			ins := Instr{Warp: w, PC: pc, ActiveMask: mask}
+			r := rng.Float64()
+			switch {
+			case r < pLoad:
+				ins.Op = OpLDG
+				ins.Addr = memAddr(rng, base, workingSet, &stream, hot[:], &hotN, inv.Hidden.CacheLocality, lineBytes)
+				ins.Lines = jitterLines(rng, loadLines)
+			case r < pLoad+pStore:
+				ins.Op = OpSTG
+				ins.Addr = memAddr(rng, base, workingSet, &stream, hot[:], &hotN, inv.Hidden.CacheLocality, lineBytes)
+				ins.Lines = jitterLines(rng, storeLines)
+			case r < pLoad+pStore+pSharedLoad:
+				ins.Op = OpLDS
+				ins.Addr = uint64(rng.Intn(48 << 10))
+			case r < pLoad+pStore+pSharedLoad+pSharedStore:
+				ins.Op = OpSTS
+				ins.Addr = uint64(rng.Intn(48 << 10))
+			case r < pLoad+pStore+pSharedLoad+pSharedStore+pBranch:
+				ins.Op = OpBRA
+			case rng.Float64() < pTensor:
+				ins.Op = OpHMMA
+			case rng.Float64() < pFP:
+				ins.Op = OpFFMA
+			default:
+				ins.Op = OpIMAD
+			}
+			t.Instrs = append(t.Instrs, ins)
+			pc += 16
+		}
+		t.Instrs = append(t.Instrs, Instr{Warp: w, PC: pc, Op: OpEXIT, ActiveMask: fullMask})
+	}
+	return t, t.Validate()
+}
+
+// coalescingLines converts the profiled transactions-per-thread-access ratio
+// into lines touched per warp access (32 lanes), clamped to [1, 32].
+func coalescingLines(transactions, accesses float64) int {
+	if accesses <= 0 || transactions <= 0 {
+		return 1
+	}
+	lines := int(32*transactions/accesses + 0.5)
+	if lines < 1 {
+		lines = 1
+	}
+	if lines > 32 {
+		lines = 32
+	}
+	return lines
+}
+
+// jitterLines perturbs the coalescing degree by ±1 line to avoid a perfectly
+// uniform stream.
+func jitterLines(rng *rand.Rand, lines int) int {
+	lines += rng.Intn(3) - 1
+	if lines < 1 {
+		return 1
+	}
+	if lines > 32 {
+		return 32
+	}
+	return lines
+}
+
+// memAddr draws a global address: with probability locality the warp
+// re-touches one of its recently used lines (true temporal reuse), otherwise
+// it touches a fresh line — within its working-set slice or, rarely, a
+// streaming region. Every address is recorded in the warp's hot set.
+func memAddr(rng *rand.Rand, base, workingSet uint64, stream *uint64, hot []uint64, hotN *int, locality float64, lineBytes uint64) uint64 {
+	if *hotN > 0 && rng.Float64() < locality {
+		return hot[rng.Intn(*hotN)]
+	}
+	var addr uint64
+	if rng.Float64() < 0.7 {
+		span := workingSet
+		if span < lineBytes {
+			span = lineBytes
+		}
+		addr = base + uint64(rng.Int63n(int64(span)))/lineBytes*lineBytes
+	} else {
+		*stream += lineBytes
+		addr = *stream
+	}
+	if *hotN < len(hot) {
+		hot[*hotN] = addr
+		*hotN++
+	} else {
+		hot[rng.Intn(len(hot))] = addr
+	}
+	return addr
+}

@@ -1,0 +1,73 @@
+package workloads
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyGenerateInvariants: any catalog workload at any scale yields a
+// valid workload with the right kernel count and sane per-invocation data.
+func TestPropertyGenerateInvariants(t *testing.T) {
+	catalog := Catalog()
+	f := func(pick uint8, rawScale uint16) bool {
+		spec := catalog[int(pick)%len(catalog)]
+		scale := 0.002 + float64(rawScale%100)/100*0.028 // 0.002..0.03
+		w, err := Generate(spec, scale)
+		if err != nil {
+			return false
+		}
+		if w.Validate() != nil {
+			return false
+		}
+		if w.NumKernels() != spec.Kernels {
+			return false
+		}
+		if w.Name != spec.Name || w.Suite != spec.Suite {
+			return false
+		}
+		for i := range w.Invocations {
+			inv := &w.Invocations[i]
+			c := &inv.Chars
+			if c.CoalescedGlobalLoads > c.ThreadGlobalLoads+1e-9 {
+				return false
+			}
+			if inv.Hidden.CacheLocality < 0 || inv.Hidden.CacheLocality > 1 {
+				return false
+			}
+			if inv.Hidden.BankConflictFactor < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyGenerateScaleMonotone: a larger scale never yields fewer
+// invocations.
+func TestPropertyGenerateScaleMonotone(t *testing.T) {
+	spec, err := ByName("nst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := 0.002 + rng.Float64()*0.02
+		b := a + rng.Float64()*0.02
+		wa, err := Generate(spec, a)
+		if err != nil {
+			return false
+		}
+		wb, err := Generate(spec, b)
+		if err != nil {
+			return false
+		}
+		return wb.NumInvocations() >= wa.NumInvocations()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,41 @@
+package workloads
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ReadSpec parses a workload specification from JSON, validating it. All
+// Spec fields are available under their Go names (the format is the struct
+// itself), so downstream users can model their own applications:
+//
+//	{
+//	  "Name": "myapp", "Suite": "Custom",
+//	  "Kernels": 12, "FullInvocations": 50000, "Seed": 7,
+//	  "Tier1Frac": 0.3, "Tier3Frac": 0.2,
+//	  "LowVarCoVLo": 0.05, "LowVarCoVHi": 0.4,
+//	  "Uniformity": 0.8, "LocalityJitter": 0.02
+//	}
+func ReadSpec(r io.Reader) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("workloads: parse spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// WriteSpec serializes the specification as indented JSON.
+func WriteSpec(s Spec, w io.Writer) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,75 @@
+package workloads
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	orig, err := ByName("rnnt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSpec(orig, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSpec(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != orig {
+		t.Fatalf("round trip changed spec:\n got %+v\nwant %+v", got, orig)
+	}
+}
+
+func TestReadSpecCustom(t *testing.T) {
+	in := `{
+	  "Name": "myapp", "Suite": "Custom",
+	  "Kernels": 4, "FullInvocations": 1000, "Seed": 7,
+	  "Tier1Frac": 0.3, "Tier3Frac": 0.2,
+	  "LowVarCoVLo": 0.05, "LowVarCoVHi": 0.4,
+	  "Uniformity": 0.8, "LocalityJitter": 0.02
+	}`
+	s, err := ReadSpec(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "myapp" || s.Kernels != 4 {
+		t.Fatalf("spec = %+v", s)
+	}
+	// The custom spec must generate a valid workload.
+	w, err := Generate(s, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumKernels() != 4 {
+		t.Fatalf("kernels = %d", w.NumKernels())
+	}
+}
+
+func TestReadSpecErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"bad json", `{`},
+		{"unknown field", `{"Name": "x", "Suite": "y", "Kernels": 1, "FullInvocations": 2, "WarpWidth": 64}`},
+		{"invalid spec", `{"Name": "x", "Suite": "y", "Kernels": 0, "FullInvocations": 2}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadSpec(strings.NewReader(c.in)); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+func TestWriteSpecRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSpec(Spec{}, &buf); err == nil {
+		t.Fatal("want error for invalid spec")
+	}
+}

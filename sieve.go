@@ -1,0 +1,137 @@
+// Package sieve implements Sieve, the stratified GPU-compute workload
+// sampling methodology of Naderan-Tahan, SeyyedAghaei and Eeckhout
+// (ISPASS 2023), together with everything needed to reproduce the paper's
+// evaluation: the PKS baseline (Baddouh et al., MICRO 2021), a synthetic
+// generator for the Parboil/Rodinia/SDK/Cactus/MLPerf workloads of Table I,
+// GPU hardware timing models for the RTX 3080 (Ampere) and RTX 2080 Ti
+// (Turing), Nsight- and NVBit-style profilers, a SASS-like trace format, and
+// a trace-driven cycle-level simulator.
+//
+// The core workflow mirrors the paper's Fig. 1:
+//
+//	w, _ := sieve.GenerateWorkload("lmc", 0.05)          // or bring your own profile
+//	hw, _ := sieve.NewHardware(sieve.Ampere())
+//	profile, _ := sieve.ProfileInstructionCounts(w, hw)  // one metric per invocation
+//	plan, _ := sieve.Sample(sieve.ProfileRows(profile), sieve.Options{})
+//	pred, _ := plan.Predict(func(i int) (float64, error) {
+//	    return hw.Cycles(&w.Invocations[i]), nil         // simulate/measure reps only
+//	})
+//	fmt.Println(pred.Cycles, pred.IPC)
+//
+// Sample groups kernel invocations into strata per kernel by instruction-
+// count variability (Tier-1 exact, Tier-2 CoV < θ, Tier-3 split by kernel
+// density estimation), selects one representative per stratum, and weights it
+// by instruction share. Predict combines per-representative IPC with the
+// weighted harmonic mean.
+package sieve
+
+import (
+	"github.com/gpusampling/sieve/internal/core"
+	"github.com/gpusampling/sieve/internal/profiler"
+)
+
+// DefaultTheta is the paper's recommended CoV threshold θ = 0.4.
+const DefaultTheta = core.DefaultTheta
+
+// Tier classifies a kernel's instruction-count variability.
+type Tier = core.Tier
+
+// Tier values.
+const (
+	Tier1 = core.Tier1
+	Tier2 = core.Tier2
+	Tier3 = core.Tier3
+)
+
+// SelectionPolicy picks the representative invocation within a stratum.
+type SelectionPolicy = core.SelectionPolicy
+
+// Selection policies: the paper's default picks the first-chronological
+// invocation with the stratum's dominant CTA size.
+const (
+	SelectDominantCTAFirst   = core.SelectDominantCTAFirst
+	SelectFirstChronological = core.SelectFirstChronological
+	SelectMaxCTA             = core.SelectMaxCTA
+)
+
+// Splitter chooses the Tier-3 sub-stratification algorithm.
+type Splitter = core.Splitter
+
+// Splitters: KDE valley-cutting (the paper's method), equal-width binning
+// and EM-fitted Gaussian mixtures (ablation baselines).
+const (
+	SplitKDE        = core.SplitKDE
+	SplitEqualWidth = core.SplitEqualWidth
+	SplitGMM        = core.SplitGMM
+)
+
+// Options configures Sample. The zero value uses the paper's defaults
+// (θ = 0.4, dominant-CTA-first selection, KDE splitting).
+type Options = core.Options
+
+// InvocationProfile is one profiled kernel invocation: kernel name,
+// chronological index, dynamic instruction count and CTA size — everything
+// Sieve needs.
+type InvocationProfile = core.InvocationProfile
+
+// Stratum is one group of same-kernel, similar-instruction-count invocations
+// with its representative and weight.
+type Stratum = core.Stratum
+
+// Plan is a complete sampling plan: the strata, their representatives and
+// weights. It is the unit a simulator consumes.
+type Plan = core.Result
+
+// Prediction is an application-level performance estimate derived from
+// representative cycle counts.
+type Prediction = core.Prediction
+
+// CycleSource supplies measured or simulated cycles by invocation index.
+type CycleSource = core.CycleSource
+
+// Sample stratifies a profiled workload and selects weighted representative
+// invocations (Sections III-B and III-C of the paper).
+func Sample(profile []InvocationProfile, opts Options) (*Plan, error) {
+	return core.Stratify(profile, opts)
+}
+
+// TierFractions reports, for each θ, the fraction of invocations classified
+// Tier-1/2/3 — the paper's Fig. 2 quantity.
+func TierFractions(profile []InvocationProfile, thetas []float64) ([][3]float64, error) {
+	return core.TierFractions(profile, thetas)
+}
+
+// ErrorBound is a pre-simulation, golden-free heuristic estimate of a plan's
+// prediction uncertainty (stratified-sampling theory with instruction-count
+// dispersion as the proxy). Obtain one with Plan.EstimateErrorBound.
+type ErrorBound = core.ErrorBound
+
+// KernelSummary characterizes one kernel's invocation behaviour.
+type KernelSummary = core.KernelSummary
+
+// Characterize summarizes every kernel of a profile at the given θ
+// (DefaultTheta if zero), ordered by descending instruction share — the
+// workload-analysis side of the Sieve workflow.
+func Characterize(profile []InvocationProfile, theta float64) ([]KernelSummary, error) {
+	return core.Characterize(profile, theta)
+}
+
+// ProfileRows converts a profiler table into Sample's input rows.
+func ProfileRows(p *Profile) []InvocationProfile {
+	out := make([]InvocationProfile, len(p.Records))
+	for i, r := range p.Records {
+		out[i] = InvocationProfile{
+			Kernel:           r.Kernel,
+			Index:            r.Index,
+			InstructionCount: r.Chars.InstructionCount,
+			CTASize:          r.CTASize,
+		}
+	}
+	return out
+}
+
+// Profile is a per-invocation profile table (one row per kernel invocation).
+type Profile = profiler.Profile
+
+// Record is one profiled invocation row.
+type Record = profiler.Record

@@ -1,0 +1,53 @@
+package sieve
+
+import (
+	"io"
+
+	"github.com/gpusampling/sieve/internal/workloads"
+)
+
+// WorkloadSpec is the deterministic generation recipe for one synthetic
+// workload of the Table I catalog.
+type WorkloadSpec = workloads.Spec
+
+// Suite names of the Table I catalog.
+const (
+	SuiteParboil = workloads.SuiteParboil
+	SuiteRodinia = workloads.SuiteRodinia
+	SuiteSDK     = workloads.SuiteSDK
+	SuiteCactus  = workloads.SuiteCactus
+	SuiteMLPerf  = workloads.SuiteMLPerf
+)
+
+// WorkloadCatalog returns the specification of all 40 Table I workloads.
+func WorkloadCatalog() []WorkloadSpec { return workloads.Catalog() }
+
+// WorkloadByName returns the catalog spec with the given name.
+func WorkloadByName(name string) (WorkloadSpec, error) { return workloads.ByName(name) }
+
+// WorkloadsBySuite returns the catalog specs of one suite.
+func WorkloadsBySuite(suite string) ([]WorkloadSpec, error) { return workloads.BySuite(suite) }
+
+// GenerateWorkload synthesizes a catalog workload at the given scale factor
+// (0 < scale ≤ 1) of its Table I invocation count. Generation is
+// deterministic.
+func GenerateWorkload(name string, scale float64) (*Workload, error) {
+	spec, err := workloads.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return workloads.Generate(spec, scale)
+}
+
+// GenerateFromSpec synthesizes a workload from a custom specification, so
+// downstream users can model their own applications.
+func GenerateFromSpec(spec WorkloadSpec, scale float64) (*Workload, error) {
+	return workloads.Generate(spec, scale)
+}
+
+// ReadWorkloadSpecJSON parses and validates a workload specification from
+// JSON (the Spec struct's fields under their Go names).
+func ReadWorkloadSpecJSON(r io.Reader) (WorkloadSpec, error) { return workloads.ReadSpec(r) }
+
+// WriteWorkloadSpecJSON serializes a workload specification as JSON.
+func WriteWorkloadSpecJSON(s WorkloadSpec, w io.Writer) error { return workloads.WriteSpec(s, w) }
