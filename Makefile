@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench vet fmt experiments record clean
+.PHONY: all build test test-short test-race bench bench-all vet fmt experiments record clean
 
 all: build test
 
@@ -15,14 +15,26 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# Race-checks the parallel stratification/k-sweep/KDE paths.
+test-race:
+	$(GO) test -race ./...
+
 vet:
 	$(GO) vet ./...
 
 fmt:
 	gofmt -l -w .
 
-# One iteration of every figure/ablation benchmark with its metrics.
+# Hot-path benchmarks (stratification, PKS k-sweep, KDE grid), sequential vs
+# parallel, recorded to BENCH_parallel.json (go test -json event stream) so
+# future PRs have a perf trajectory to diff against.
 bench:
+	$(GO) test -run XXX -bench 'BenchmarkStratify|BenchmarkPKSSelect|BenchmarkKDEGrid' \
+		-benchmem -benchtime 1x -json . > BENCH_parallel.json
+	@echo "benchmark event stream written to BENCH_parallel.json"
+
+# One iteration of every figure/ablation benchmark with its metrics.
+bench-all:
 	$(GO) test -run XXX -bench . -benchmem -benchtime 1x .
 
 # Regenerate every table and figure at the default scale.

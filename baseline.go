@@ -26,7 +26,10 @@ const (
 	PKSAlgoHierarchical = pks.AlgoHierarchical
 )
 
-// PKSOptions configures the PKS baseline.
+// PKSOptions configures the PKS baseline. The k = 1..MaxK sweep runs across
+// GOMAXPROCS workers by default (set Parallelism to 1 for sequential
+// execution; results are byte-identical either way), and Restarts adds
+// deterministic k-means restarts per candidate k.
 type PKSOptions = pks.Options
 
 // PKSPlan is a complete PKS selection: clusters, representatives and the

@@ -7,10 +7,12 @@ package sieve_test
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"github.com/gpusampling/sieve"
 	"github.com/gpusampling/sieve/internal/experiments"
+	"github.com/gpusampling/sieve/internal/kde"
 )
 
 // benchScale keeps per-iteration work bounded; the experiments scale
@@ -507,17 +509,31 @@ func BenchmarkBaselineClustering(b *testing.B) {
 
 // --- micro-benchmarks -----------------------------------------------------------
 
+// BenchmarkStratify compares the sequential per-kernel walk against the
+// bounded-worker fan-out (Parallelism: 0 = GOMAXPROCS). Both produce
+// byte-identical plans; only the wall clock differs.
 func BenchmarkStratify(b *testing.B) {
 	f := newFixture(b, "nst", benchScale)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := sieve.Sample(f.rows, sieve.Options{}); err != nil {
-			b.Fatal(err)
-		}
+	for _, bc := range []struct {
+		name        string
+		parallelism int
+	}{
+		{"sequential", 1},
+		{"parallel", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sieve.Sample(f.rows, sieve.Options{Parallelism: bc.parallelism}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(f.rows)), "invocations")
+		})
 	}
-	b.ReportMetric(float64(len(f.rows)), "invocations")
 }
 
+// BenchmarkPKSSelect compares the sequential k = 1..20 sweep against the
+// parallel sweep with per-k deterministic RNGs.
 func BenchmarkPKSSelect(b *testing.B) {
 	f := newFixture(b, "lmc", 0.01)
 	hw, err := sieve.NewHardware(sieve.Ampere())
@@ -529,11 +545,76 @@ func BenchmarkPKSSelect(b *testing.B) {
 		b.Fatal(err)
 	}
 	features := sieve.FeatureRows(full)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := sieve.PKSSelect(features, f.golden, sieve.PKSOptions{Seed: 1}); err != nil {
+	for _, bc := range []struct {
+		name        string
+		parallelism int
+	}{
+		{"sequential", 1},
+		{"parallel", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sieve.PKSSelect(features, f.golden, sieve.PKSOptions{Seed: 1, Parallelism: bc.parallelism}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKDEGrid measures density-grid evaluation — the Tier-3 splitting
+// hot path. "per-point" replays the old algorithm (an independent binary
+// search per grid point via Density); "sliding" is the new single-window
+// evaluation; "parallel" chunks the grid across workers. Two bandwidth
+// regimes: Silverman (wide windows, kernel-evaluation bound) and a narrow
+// bandwidth where the per-point search bookkeeping dominates.
+func BenchmarkKDEGrid(b *testing.B) {
+	const nSamples, gridPoints = 50000, 2048
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]float64, nSamples)
+	for i := range samples {
+		center := []float64{1e4, 5e4, 2.5e5}[rng.Intn(3)]
+		samples[i] = center * (1 + 0.05*rng.NormFloat64())
+	}
+	for _, bw := range []struct {
+		name      string
+		bandwidth float64
+	}{
+		{"silverman", 0},
+		{"narrow", 25},
+	} {
+		est, err := kde.New(samples, bw.bandwidth)
+		if err != nil {
 			b.Fatal(err)
 		}
+		bounds, _, err := est.Grid(2) // the [lo, hi] span every variant evaluates
+		if err != nil {
+			b.Fatal(err)
+		}
+		lo, step := bounds[0], (bounds[1]-bounds[0])/float64(gridPoints-1)
+		b.Run(bw.name+"/per-point", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var sink float64
+				for p := 0; p < gridPoints; p++ {
+					sink += est.Density(lo + float64(p)*step)
+				}
+				_ = sink
+			}
+		})
+		b.Run(bw.name+"/sliding", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := est.Grid(gridPoints); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(bw.name+"/parallel", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := est.GridParallel(gridPoints, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -32,11 +32,11 @@ func main() {
 		scale      = flag.Float64("scale", 0, "workload scale factor in (0, 1]; 0 = default")
 		theta      = flag.Float64("theta", 0, "Sieve CoV threshold; 0 = paper default 0.4")
 		seed       = flag.Int64("seed", 0, "PKS clustering seed; 0 = default")
-		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workload preparation")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker count for workload preparation and the sampling pipelines (1 = sequential)")
 	)
 	flag.Parse()
 
-	r := experiments.NewRunner(experiments.Config{Scale: *scale, Theta: *theta, Seed: *seed})
+	r := experiments.NewRunner(experiments.Config{Scale: *scale, Theta: *theta, Seed: *seed, Parallelism: *workers})
 	ids := strings.Split(strings.ToLower(*experiment), ",")
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "warmup", "sim", "dse", "scaling", "baselines", "xval"}

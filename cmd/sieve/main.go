@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	"github.com/gpusampling/sieve"
@@ -33,6 +34,7 @@ func main() {
 		profileOut   = flag.String("profile-out", "", "write the instruction-count profile CSV here")
 		validate     = flag.Bool("validate", true, "measure the full run and report prediction error (needs -workload)")
 		characterize = flag.Bool("characterize", false, "print the per-kernel workload characterization")
+		parallelism  = flag.Int("parallelism", runtime.GOMAXPROCS(0), "stratification worker count (1 = sequential; results are identical)")
 	)
 	flag.Parse()
 	if *characterize {
@@ -42,14 +44,14 @@ func main() {
 		}
 		return
 	}
-	if err := run(*workload, *specFile, *scale, *theta, *policy, *splitter, *arch, *profileIn, *profileOut, *validate); err != nil {
+	if err := run(*workload, *specFile, *scale, *theta, *policy, *splitter, *arch, *profileIn, *profileOut, *validate, *parallelism); err != nil {
 		fmt.Fprintln(os.Stderr, "sieve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workload, specFile string, scale, theta float64, policyName, splitterName, archName, profileIn, profileOut string, validate bool) error {
-	opts := sieve.Options{Theta: theta}
+func run(workload, specFile string, scale, theta float64, policyName, splitterName, archName, profileIn, profileOut string, validate bool, parallelism int) error {
+	opts := sieve.Options{Theta: theta, Parallelism: parallelism}
 	switch policyName {
 	case "dominant-cta-first":
 		opts.Selection = sieve.SelectDominantCTAFirst

@@ -7,14 +7,14 @@ import (
 )
 
 func TestRunEndToEnd(t *testing.T) {
-	if err := run("gru", "", 0.01, 0.4, "dominant-cta-first", "kde", "ampere", "", "", true); err != nil {
+	if err := run("gru", "", 0.01, 0.4, "dominant-cta-first", "kde", "ampere", "", "", true, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunPolicies(t *testing.T) {
 	for _, policy := range []string{"first-chronological", "max-cta"} {
-		if err := run("dwt2d", "", 1.0, 0.4, policy, "kde", "turing", "", "", false); err != nil {
+		if err := run("dwt2d", "", 1.0, 0.4, policy, "kde", "turing", "", "", false, 0); err != nil {
 			t.Fatalf("%s: %v", policy, err)
 		}
 	}
@@ -23,14 +23,14 @@ func TestRunPolicies(t *testing.T) {
 func TestRunProfileRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	csv := filepath.Join(dir, "profile.csv")
-	if err := run("histo", "", 1.0, 0.4, "dominant-cta-first", "kde", "ampere", "", csv, false); err != nil {
+	if err := run("histo", "", 1.0, 0.4, "dominant-cta-first", "kde", "ampere", "", csv, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(csv); err != nil {
 		t.Fatalf("profile CSV not written: %v", err)
 	}
 	// Load the CSV back instead of a workload.
-	if err := run("", "", 0.01, 0.4, "dominant-cta-first", "kde", "ampere", csv, "", true); err != nil {
+	if err := run("", "", 0.01, 0.4, "dominant-cta-first", "kde", "ampere", csv, "", true, 0); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -40,12 +40,12 @@ func TestRunErrors(t *testing.T) {
 		name string
 		call func() error
 	}{
-		{"no input", func() error { return run("", "", 0.1, 0.4, "dominant-cta-first", "kde", "ampere", "", "", false) }},
-		{"bad policy", func() error { return run("gru", "", 0.1, 0.4, "nope", "kde", "ampere", "", "", false) }},
-		{"bad arch", func() error { return run("gru", "", 0.1, 0.4, "dominant-cta-first", "kde", "tpu", "", "", false) }},
-		{"unknown workload", func() error { return run("zzz", "", 0.1, 0.4, "dominant-cta-first", "kde", "ampere", "", "", false) }},
+		{"no input", func() error { return run("", "", 0.1, 0.4, "dominant-cta-first", "kde", "ampere", "", "", false, 0) }},
+		{"bad policy", func() error { return run("gru", "", 0.1, 0.4, "nope", "kde", "ampere", "", "", false, 0) }},
+		{"bad arch", func() error { return run("gru", "", 0.1, 0.4, "dominant-cta-first", "kde", "tpu", "", "", false, 0) }},
+		{"unknown workload", func() error { return run("zzz", "", 0.1, 0.4, "dominant-cta-first", "kde", "ampere", "", "", false, 0) }},
 		{"missing profile", func() error {
-			return run("", "", 0.1, 0.4, "dominant-cta-first", "kde", "ampere", "/does/not/exist.csv", "", false)
+			return run("", "", 0.1, 0.4, "dominant-cta-first", "kde", "ampere", "/does/not/exist.csv", "", false, 0)
 		}},
 	}
 	for _, c := range cases {
@@ -81,19 +81,19 @@ func TestRunFromCustomSpec(t *testing.T) {
 	if err := os.WriteFile(spec, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", spec, 1.0, 0.4, "dominant-cta-first", "gmm", "ampere", "", "", true); err != nil {
+	if err := run("", spec, 1.0, 0.4, "dominant-cta-first", "gmm", "ampere", "", "", true, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", "/missing/spec.json", 1.0, 0.4, "dominant-cta-first", "kde", "ampere", "", "", false); err == nil {
+	if err := run("", "/missing/spec.json", 1.0, 0.4, "dominant-cta-first", "kde", "ampere", "", "", false, 0); err == nil {
 		t.Fatal("want error for missing spec file")
 	}
 }
 
 func TestRunRejectsUnknownSplitter(t *testing.T) {
-	if err := run("gru", "", 0.01, 0.4, "dominant-cta-first", "median", "ampere", "", "", false); err == nil {
+	if err := run("gru", "", 0.01, 0.4, "dominant-cta-first", "median", "ampere", "", "", false, 0); err == nil {
 		t.Fatal("want error for unknown splitter")
 	}
-	if err := run("gst", "", 1.0, 0.4, "dominant-cta-first", "equal-width", "ampere", "", "", true); err != nil {
+	if err := run("gst", "", 1.0, 0.4, "dominant-cta-first", "equal-width", "ampere", "", "", true, 0); err != nil {
 		t.Fatal(err)
 	}
 }

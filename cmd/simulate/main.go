@@ -5,8 +5,8 @@
 //
 // Modes:
 //
-//	simulate -traces traces/                   # serial, one SM + extrapolation
-//	simulate -traces traces/ -parallel 8       # each trace on its own core
+//	simulate -traces traces/                   # each trace on its own core (GOMAXPROCS workers)
+//	simulate -traces traces/ -parallel 0       # serial, one SM + extrapolation
 //	simulate -traces traces/ -pkp              # PKP early exit (IPC convergence)
 //	simulate -traces traces/ -multism 16       # explicit multi-SM simulation
 //	simulate -traces traces/ -arch turing      # or a JSON arch file
@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"time"
 
@@ -29,7 +30,7 @@ func main() {
 	var (
 		dir      = flag.String("traces", "traces", "directory of .trace files")
 		archName = flag.String("arch", "ampere", "architecture: ampere, turing, or a JSON arch file")
-		parallel = flag.Int("parallel", 0, "worker count; 0 = serial")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count; ≤ 0 = serial")
 		pkp      = flag.Bool("pkp", false, "Principal Kernel Projection: stop each trace once IPC converges")
 		multiSM  = flag.Int("multism", 0, "simulate across this many explicit SMs (0 = single-SM mode)")
 		jsonOut  = flag.String("json", "", "also write results as JSON to this file")

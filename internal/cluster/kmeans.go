@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 )
 
 // Result describes a k-means clustering.
@@ -38,6 +40,14 @@ type Config struct {
 	Tolerance float64
 	// Rng supplies randomness for k-means++ seeding; required.
 	Rng *rand.Rand
+	// Restarts runs the whole algorithm this many times from independent
+	// seedings and keeps the lowest-inertia clustering (default 1; ties break
+	// toward the earlier restart). Restart seeds are drawn from Rng up front,
+	// so the result does not depend on Parallelism or scheduling.
+	Restarts int
+	// Parallelism bounds concurrent restarts: 0 selects GOMAXPROCS, 1 runs
+	// them sequentially. A single run (Restarts ≤ 1) is always sequential.
+	Parallelism int
 }
 
 // KMeans clusters points (each a feature vector of equal length) into cfg.K
@@ -47,8 +57,53 @@ func KMeans(points [][]float64, cfg Config) (*Result, error) {
 	if err := validate(points, &cfg); err != nil {
 		return nil, err
 	}
+	if cfg.Restarts == 1 {
+		return lloyd(points, &cfg, cfg.Rng), nil
+	}
+	// Draw every restart seed from the shared Rng before fanning out: the
+	// per-restart RNGs are then fully determined by the caller's seed and the
+	// parallel result is byte-identical to the sequential one.
+	seeds := make([]int64, cfg.Restarts)
+	for i := range seeds {
+		seeds[i] = cfg.Rng.Int63()
+	}
+	results := make([]*Result, cfg.Restarts)
+	workers := cfg.Parallelism
+	if workers > cfg.Restarts {
+		workers = cfg.Restarts
+	}
+	if workers <= 1 {
+		for i, seed := range seeds {
+			results[i] = lloyd(points, &cfg, rand.New(rand.NewSource(seed)))
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i, seed := range seeds {
+			wg.Add(1)
+			go func(i int, seed int64) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				results[i] = lloyd(points, &cfg, rand.New(rand.NewSource(seed)))
+			}(i, seed)
+		}
+		wg.Wait()
+	}
+	best := results[0]
+	for _, r := range results[1:] {
+		if r.Inertia < best.Inertia {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// lloyd runs one seeded k-means++ / Lloyd-iteration pass over validated
+// input. cfg is read-only here, so concurrent restarts may share it.
+func lloyd(points [][]float64, cfg *Config, rng *rand.Rand) *Result {
 	dim := len(points[0])
-	centroids := seedPlusPlus(points, cfg.K, cfg.Rng)
+	centroids := seedPlusPlus(points, cfg.K, rng)
 	assign := make([]int, len(points))
 	sizes := make([]int, cfg.K)
 
@@ -118,7 +173,7 @@ func KMeans(points [][]float64, cfg Config) (*Result, error) {
 		Sizes:       sizes,
 		Inertia:     inertia,
 		Iterations:  iterations,
-	}, nil
+	}
 }
 
 func validate(points [][]float64, cfg *Config) error {
@@ -148,6 +203,12 @@ func validate(points [][]float64, cfg *Config) error {
 	}
 	if cfg.Tolerance <= 0 {
 		cfg.Tolerance = 1e-9
+	}
+	if cfg.Restarts <= 0 {
+		cfg.Restarts = 1
+	}
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	return nil
 }

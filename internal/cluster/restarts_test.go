@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// restartBlobs draws three well-separated 2-D blobs.
+func restartBlobs(seed int64, perBlob int) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	var points [][]float64
+	for _, c := range [][2]float64{{0, 0}, {40, 0}, {0, 40}} {
+		for i := 0; i < perBlob; i++ {
+			points = append(points, []float64{c[0] + rng.NormFloat64(), c[1] + rng.NormFloat64()})
+		}
+	}
+	return points
+}
+
+// TestKMeansRestartsDeterministicAcrossParallelism pins the restart fan-out:
+// seeds are drawn before dispatch, so worker count must not change anything.
+func TestKMeansRestartsDeterministicAcrossParallelism(t *testing.T) {
+	points := restartBlobs(1, 60)
+	var want *Result
+	for _, par := range []int{1, 0, 2, 16} {
+		got, err := KMeans(points, Config{
+			K: 3, Rng: rand.New(rand.NewSource(7)), Restarts: 6, Parallelism: par,
+		})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("parallelism %d: clustering diverges (inertia %g vs %g)", par, got.Inertia, want.Inertia)
+		}
+	}
+}
+
+// TestKMeansRestartsKeepLowestInertia replays the internal seed schedule and
+// checks the multi-restart result equals the best single run.
+func TestKMeansRestartsKeepLowestInertia(t *testing.T) {
+	points := restartBlobs(2, 40)
+	const restarts = 5
+	rng := rand.New(rand.NewSource(11))
+	best := 0.0
+	for i := 0; i < restarts; i++ {
+		single, err := KMeans(points, Config{K: 3, Rng: rand.New(rand.NewSource(rng.Int63()))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 || single.Inertia < best {
+			best = single.Inertia
+		}
+	}
+	multi, err := KMeans(points, Config{K: 3, Rng: rand.New(rand.NewSource(11)), Restarts: restarts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Inertia != best {
+		t.Fatalf("restart result inertia %g, want best single-run inertia %g", multi.Inertia, best)
+	}
+}
+
+func TestKMeansSingleRestartUnchanged(t *testing.T) {
+	points := restartBlobs(3, 30)
+	a, err := KMeans(points, Config{K: 2, Rng: rand.New(rand.NewSource(5))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(points, Config{K: 2, Rng: rand.New(rand.NewSource(5)), Restarts: 1, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Restarts: 1 must reproduce the default single-run path exactly")
+	}
+}

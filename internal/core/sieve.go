@@ -19,7 +19,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"github.com/gpusampling/sieve/internal/kde"
 	"github.com/gpusampling/sieve/internal/stats"
@@ -139,6 +141,11 @@ type Options struct {
 	Selection SelectionPolicy
 	// Tier3Splitter picks the Tier-3 splitting algorithm.
 	Tier3Splitter Splitter
+	// Parallelism bounds the workers stratifying kernels concurrently:
+	// 0 selects GOMAXPROCS, 1 runs sequentially. Kernels are independent and
+	// reassembled in deterministic order, so the result is byte-identical at
+	// any parallelism.
+	Parallelism int
 }
 
 // withDefaults returns the options with zero values replaced by defaults.
@@ -158,6 +165,12 @@ func (o Options) withDefaults() (Options, error) {
 	case SplitKDE, SplitEqualWidth, SplitGMM:
 	default:
 		return o, fmt.Errorf("core: unknown splitter %d", o.Tier3Splitter)
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.Parallelism < 0 {
+		return o, fmt.Errorf("core: negative parallelism %d", o.Parallelism)
 	}
 	return o, nil
 }
@@ -235,16 +248,53 @@ func Stratify(profile []InvocationProfile, opts Options) (*Result, error) {
 	}
 	sort.Strings(kernelOrder)
 
-	res := &Result{Theta: opts.Theta, byIndex: byIndex}
-	for _, kernel := range kernelOrder {
+	// Stratify kernels on a bounded worker pool: kernels are independent, so
+	// each worker owns one kernel's rows end to end and the per-kernel
+	// outputs are reassembled below in sorted kernel order — the result is
+	// byte-identical to the sequential walk regardless of worker count.
+	type kernelOutput struct {
+		strata []Stratum
+		tier   Tier
+		rows   int
+		err    error
+	}
+	outputs := make([]kernelOutput, len(kernelOrder))
+	process := func(i int) {
+		kernel := kernelOrder[i]
 		rows := kernelRows[kernel]
 		sort.Slice(rows, func(a, b int) bool { return rows[a].Index < rows[b].Index })
 		strata, tier, err := stratifyKernel(kernel, rows, opts)
 		if err != nil {
-			return nil, fmt.Errorf("core: kernel %s: %w", kernel, err)
+			err = fmt.Errorf("core: kernel %s: %w", kernel, err)
 		}
-		res.TierInvocations[tier-1] += len(rows)
-		res.Strata = append(res.Strata, strata...)
+		outputs[i] = kernelOutput{strata: strata, tier: tier, rows: len(rows), err: err}
+	}
+	if workers := min(opts.Parallelism, len(kernelOrder)); workers <= 1 {
+		for i := range kernelOrder {
+			process(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i := range kernelOrder {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				process(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	res := &Result{Theta: opts.Theta, byIndex: byIndex}
+	for _, out := range outputs {
+		if out.err != nil {
+			return nil, out.err
+		}
+		res.TierInvocations[out.tier-1] += out.rows
+		res.Strata = append(res.Strata, out.strata...)
 	}
 
 	// Weights: stratum instruction share of the total (Section III-C).

@@ -48,6 +48,7 @@ func (r *Runner) Baselines() ([]BaselineRow, error) {
 
 		tb, err := pks.Select(p.features, p.golden, pks.Options{
 			Seed: r.cfg.Seed, Clustering: pks.AlgoHierarchical,
+			Parallelism: r.cfg.Parallelism,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("%s: tbpoint: %w", name, err)

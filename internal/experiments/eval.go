@@ -25,6 +25,10 @@ type Config struct {
 	Theta float64
 	// Seed drives PKS's k-means and random selection.
 	Seed int64
+	// Parallelism bounds the workers inside the sampling pipelines
+	// (stratification fan-out, PKS k-sweep); 0 selects GOMAXPROCS,
+	// 1 forces sequential execution. Results are identical either way.
+	Parallelism int
 }
 
 // DefaultScale keeps full-suite experiments laptop-sized while preserving the
@@ -106,7 +110,7 @@ func prepare(spec workloads.Spec, cfg Config) (*prepared, error) {
 	}
 	p.sieveProfile = SieveProfile(icProf)
 	p.sieveProfSec = icProf.WallSeconds
-	p.sieve, err = core.Stratify(p.sieveProfile, core.Options{Theta: cfg.Theta})
+	p.sieve, err = core.Stratify(p.sieveProfile, core.Options{Theta: cfg.Theta, Parallelism: cfg.Parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -118,7 +122,7 @@ func prepare(spec workloads.Spec, cfg Config) (*prepared, error) {
 	}
 	p.features = FeatureRows(fullProf)
 	p.fullProfSec = fullProf.WallSeconds
-	p.pks, err = pks.Select(p.features, p.golden, pks.Options{Seed: cfg.Seed})
+	p.pks, err = pks.Select(p.features, p.golden, pks.Options{Seed: cfg.Seed, Parallelism: cfg.Parallelism})
 	if err != nil {
 		return nil, err
 	}

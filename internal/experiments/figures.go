@@ -209,7 +209,7 @@ func (r *Runner) Fig5() ([]SelectionRow, error) {
 		} {
 			res := p.pks
 			if pol.policy != pks.SelectFirst {
-				res, err = pks.Select(p.features, p.golden, pks.Options{Seed: r.cfg.Seed, Selection: pol.policy})
+				res, err = pks.Select(p.features, p.golden, pks.Options{Seed: r.cfg.Seed, Selection: pol.policy, Parallelism: r.cfg.Parallelism})
 				if err != nil {
 					return nil, fmt.Errorf("%s: pks %v: %w", name, pol.policy, err)
 				}
@@ -467,7 +467,7 @@ func (r *Runner) Fig10() ([]ThetaPoint, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := core.Stratify(p.sieveProfile, core.Options{Theta: theta})
+			res, err := core.Stratify(p.sieveProfile, core.Options{Theta: theta, Parallelism: r.cfg.Parallelism})
 			if err != nil {
 				return nil, err
 			}

@@ -60,7 +60,7 @@ func (r *Runner) Scaling() ([]ScalingRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			plan, err := core.Stratify(SieveProfile(prof), core.Options{Theta: r.cfg.Theta})
+			plan, err := core.Stratify(SieveProfile(prof), core.Options{Theta: r.cfg.Theta, Parallelism: r.cfg.Parallelism})
 			if err != nil {
 				return nil, err
 			}

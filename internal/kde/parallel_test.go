@@ -1,0 +1,128 @@
+package kde
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// trimodal draws a deterministic three-mode sample.
+func trimodal(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		center := []float64{10, 55, 200}[rng.Intn(3)]
+		xs[i] = center + rng.NormFloat64()*center/20
+	}
+	return xs
+}
+
+// TestGridMatchesDensity pins the sliding-window evaluation to the per-point
+// Density definition: both truncate the kernel at 6 bandwidths, so every grid
+// density must be bitwise equal to an independent Density call.
+func TestGridMatchesDensity(t *testing.T) {
+	for _, n := range []int{2, 17, 512, 1500} {
+		e, err := New(trimodal(1, 400), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs, ds, err := e.Grid(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range xs {
+			if want := e.Density(xs[i]); ds[i] != want {
+				t.Fatalf("grid(%d) point %d: density %g != Density(%g) = %g", n, i, ds[i], xs[i], want)
+			}
+		}
+	}
+}
+
+func TestGridParallelMatchesSequential(t *testing.T) {
+	e, err := New(trimodal(2, 2000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xsSeq, dsSeq, err := e.GridParallel(4096, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 5, 32} {
+		xs, ds, err := e.GridParallel(4096, workers)
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		for i := range xs {
+			if xs[i] != xsSeq[i] || ds[i] != dsSeq[i] {
+				t.Fatalf("workers %d: point %d diverges: (%g, %g) vs (%g, %g)",
+					workers, i, xs[i], ds[i], xsSeq[i], dsSeq[i])
+			}
+		}
+	}
+}
+
+func TestGridDegenerateSamples(t *testing.T) {
+	// A single sample and an all-equal sample exercise the Silverman
+	// fallback bandwidth and a window that covers everything.
+	for _, xs := range [][]float64{{5}, {3, 3, 3, 3}} {
+		e, err := New(xs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gx, gd, err := e.Grid(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range gx {
+			if want := e.Density(gx[i]); gd[i] != want {
+				t.Fatalf("degenerate grid point %d: %g != %g", i, gd[i], want)
+			}
+		}
+	}
+}
+
+func TestNewSortedMatchesNew(t *testing.T) {
+	xs := trimodal(3, 500)
+	viaNew, err := New(xs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	viaSorted, err := NewSorted(sorted, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaNew.Bandwidth() != viaSorted.Bandwidth() {
+		t.Fatalf("bandwidth %g != %g", viaSorted.Bandwidth(), viaNew.Bandwidth())
+	}
+	if viaNew.N() != viaSorted.N() {
+		t.Fatalf("N %d != %d", viaSorted.N(), viaNew.N())
+	}
+	for _, x := range []float64{0, 10, 55, 123.4, 200} {
+		if a, b := viaNew.Density(x), viaSorted.Density(x); a != b {
+			t.Fatalf("density at %g: %g != %g", x, b, a)
+		}
+	}
+}
+
+func TestNewSortedRejectsUnsortedAndEmpty(t *testing.T) {
+	if _, err := NewSorted([]float64{2, 1}, 0); err == nil {
+		t.Fatal("want error for unsorted input")
+	}
+	if _, err := NewSorted(nil, 0); err == nil {
+		t.Fatal("want error for empty input")
+	}
+}
+
+func TestSilvermanBandwidthSortedMatches(t *testing.T) {
+	xs := trimodal(4, 300)
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if a, b := SilvermanBandwidth(xs), SilvermanBandwidthSorted(sorted); a != b {
+		t.Fatalf("SilvermanBandwidthSorted %g != SilvermanBandwidth %g", b, a)
+	}
+	if SilvermanBandwidthSorted(nil) != 1 {
+		t.Fatal("empty sample must fall back to bandwidth 1")
+	}
+}

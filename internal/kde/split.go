@@ -47,6 +47,12 @@ func (e *Estimator) Valleys(n int) ([]float64, error) {
 func SplitAtValleys(xs []float64, valleys []float64) [][]float64 {
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return splitSortedAtValleys(sorted, valleys)
+}
+
+// splitSortedAtValleys is SplitAtValleys on an already-sorted sample; the
+// returned groups alias sorted.
+func splitSortedAtValleys(sorted []float64, valleys []float64) [][]float64 {
 	cuts := append([]float64(nil), valleys...)
 	sort.Float64s(cuts)
 
@@ -85,13 +91,18 @@ func SplitUnderCoV(xs []float64, threshold float64) ([][]float64, error) {
 	if len(xs) == 0 {
 		return nil, fmt.Errorf("kde: no samples to split")
 	}
-	if cov(xs) < threshold {
-		sorted := append([]float64(nil), xs...)
-		sort.Float64s(sorted)
+	// cov must see the caller's order: summation order affects the last ulp
+	// and the pass-through decision must not depend on the sort below.
+	passThrough := cov(xs) < threshold
+	// One sort serves the pass-through, the estimator fit and the valley
+	// partition below.
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if passThrough {
 		return [][]float64{sorted}, nil
 	}
 
-	est, err := New(xs, 0)
+	est, err := NewSorted(sorted, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -100,7 +111,7 @@ func SplitUnderCoV(xs []float64, threshold float64) ([][]float64, error) {
 		return nil, err
 	}
 	var out [][]float64
-	for _, g := range SplitAtValleys(xs, valleys) {
+	for _, g := range splitSortedAtValleys(sorted, valleys) {
 		out = append(out, bisectUnderCoV(g, threshold, 0)...)
 	}
 	return out, nil

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"github.com/gpusampling/sieve/internal/cluster"
 	"github.com/gpusampling/sieve/internal/mat"
@@ -112,6 +114,14 @@ type Options struct {
 	// Clustering selects the engine: AlgoKMeans (PKS) or AlgoHierarchical
 	// (TBPoint-style).
 	Clustering ClusteringAlgo
+	// Parallelism bounds the workers running the k = 1..MaxK sweep
+	// concurrently: 0 selects GOMAXPROCS, 1 runs the sweep sequentially.
+	// Every candidate k derives its RNG from Seed alone, so the result is
+	// byte-identical at any parallelism.
+	Parallelism int
+	// Restarts is the per-k k-means restart count forwarded to the
+	// clustering layer (default 1, the original PKS behaviour).
+	Restarts int
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -137,6 +147,18 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.ClusterSampleCap == 0 {
 		o.ClusterSampleCap = DefaultClusterSampleCap
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.Parallelism < 0 {
+		return o, fmt.Errorf("pks: negative parallelism %d", o.Parallelism)
+	}
+	if o.Restarts == 0 {
+		o.Restarts = 1
+	}
+	if o.Restarts < 0 {
+		return o, fmt.Errorf("pks: negative restarts %d", o.Restarts)
 	}
 	switch o.Clustering {
 	case AlgoKMeans:
@@ -225,24 +247,69 @@ func Select(features [][]float64, goldenCycles []float64, opts Options) (*Result
 		clusterings = cuts
 	}
 
-	var best *Result
-	for k := 1; k <= maxK; k++ {
+	// Sweep k = 1..maxK. Each candidate's randomness flows through an RNG
+	// derived only from the caller's seed and k itself, so the candidates are
+	// independent and can run on a bounded worker pool without changing a
+	// single byte of the outcome relative to the sequential sweep.
+	candidates := make([]*Result, maxK+1)
+	errsByK := make([]float64, maxK+1)
+	failures := make([]error, maxK+1)
+	clusterPar := 1 // the sweep already occupies the workers
+	workers := opts.Parallelism
+	if workers > maxK {
+		workers = maxK
+	}
+	if workers <= 1 {
+		clusterPar = opts.Parallelism // sequential sweep: restarts may fan out
+	}
+	runK := func(k int) {
 		rng := rand.New(rand.NewSource(opts.Seed + int64(k)*7919))
 		km := clusterings[k]
 		if km == nil {
 			var err error
 			km, err = cluster.KMeans(fitSet, cluster.Config{
 				K: k, Rng: rng, MaxIterations: opts.MaxIterations,
+				Restarts: opts.Restarts, Parallelism: clusterPar,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("pks: k=%d: %w", k, err)
+				failures[k] = fmt.Errorf("pks: k=%d: %w", k, err)
+				return
 			}
 		}
 		res := assemble(points, fitIdx, km, opts, rng)
-		errK := distortion(res, goldenCycles, goldenTotal)
-		if best == nil || errK < best.KSelectionError {
-			res.KSelectionError = errK
-			best = res
+		candidates[k] = res
+		errsByK[k] = distortion(res, goldenCycles, goldenTotal)
+	}
+	if workers <= 1 {
+		for k := 1; k <= maxK; k++ {
+			runK(k)
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for k := 1; k <= maxK; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				runK(k)
+			}(k)
+		}
+		wg.Wait()
+	}
+	for k := 1; k <= maxK; k++ {
+		if failures[k] != nil {
+			return nil, failures[k]
+		}
+	}
+	// Pick the k minimizing distortion, first-k ties, exactly as the
+	// sequential sweep did.
+	var best *Result
+	for k := 1; k <= maxK; k++ {
+		if best == nil || errsByK[k] < best.KSelectionError {
+			candidates[k].KSelectionError = errsByK[k]
+			best = candidates[k]
 		}
 	}
 	return best, nil

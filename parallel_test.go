@@ -1,0 +1,65 @@
+package sieve
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParallelPipelinesMatchSequential drives the public API end to end on
+// real generated workloads and asserts that the parallel execution layer
+// (kernel fan-out in Sample, the PKS k-sweep) reproduces the sequential
+// results byte for byte.
+func TestParallelPipelinesMatchSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload pipelines in -short mode")
+	}
+	hw, err := NewHardware(Ampere())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"lmc", "spt", "dwt2d"} {
+		t.Run(name, func(t *testing.T) {
+			w, err := GenerateWorkload(name, 0.01)
+			if err != nil {
+				t.Fatal(err)
+			}
+			profile, err := ProfileInstructionCounts(w, hw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows := ProfileRows(profile)
+			seq, err := Sample(rows, Options{Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := Sample(rows, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seq.Strata, par.Strata) {
+				t.Fatal("parallel Sample strata diverge from sequential")
+			}
+			if seq.TotalInstructions != par.TotalInstructions || seq.TierInvocations != par.TierInvocations {
+				t.Fatal("parallel Sample summary diverges from sequential")
+			}
+
+			full, err := ProfileFull(w, hw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden := hw.MeasureWorkload(w)
+			features := FeatureRows(full)
+			pksSeq, err := PKSSelect(features, golden, PKSOptions{Seed: 1, Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pksPar, err := PKSSelect(features, golden, PKSOptions{Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(pksSeq, pksPar) {
+				t.Fatal("parallel PKSSelect diverges from sequential")
+			}
+		})
+	}
+}
