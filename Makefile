@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench bench-all vet fmt experiments record clean
+.PHONY: all build test test-short test-race bench bench-stream bench-all vet fmt fuzz-smoke experiments record clean
 
 all: build test
 
@@ -32,6 +32,21 @@ bench:
 	$(GO) test -run XXX -bench 'BenchmarkStratify|BenchmarkPKSSelect|BenchmarkKDEGrid' \
 		-benchmem -benchtime 1x -json . > BENCH_parallel.json
 	@echo "benchmark event stream written to BENCH_parallel.json"
+
+# Streaming-vs-materialized ingestion: allocs/op of the streaming sampler
+# must stay flat as the invocation count grows (bounded by kernels ×
+# reservoir), recorded to BENCH_stream.json.
+bench-stream:
+	$(GO) test -run XXX -bench 'BenchmarkSampleStream' \
+		-benchmem -benchtime 1x -json . > BENCH_stream.json
+	@echo "benchmark event stream written to BENCH_stream.json"
+
+# Short fuzz pass over every profiler CSV fuzz target (CI runs the same).
+fuzz-smoke:
+	@for t in $$($(GO) test ./internal/profiler -list 'Fuzz.*' | grep '^Fuzz'); do \
+		echo "fuzzing $$t"; \
+		$(GO) test ./internal/profiler -run XXX -fuzz "^$$t$$" -fuzztime 10s || exit 1; \
+	done
 
 # One iteration of every figure/ablation benchmark with its metrics.
 bench-all:

@@ -7,6 +7,7 @@ package sieve_test
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"testing"
 
@@ -660,4 +661,87 @@ func abs(x float64) float64 {
 		return -x
 	}
 	return x
+}
+
+// BenchmarkSampleStream measures the bounded-memory streaming sampler
+// against the materializing path on a synthetic multi-kernel source. The
+// rows are generated on the fly, so the streaming variants' allocs/op stay
+// bounded by kernels × reservoir while the materialized variant must first
+// build the full row slice — the gap widens with the invocation count (see
+// BENCH_stream.json).
+func BenchmarkSampleStream(b *testing.B) {
+	// synthSource yields n deterministic rows across 8 kernels mixing the
+	// three tiers: constant, low-variance and bimodal instruction counts.
+	kernels := [8]string{"kern0", "kern1", "kern2", "kern3", "kern4", "kern5", "kern6", "kern7"}
+	synthSource := func(n int) sieve.RowSource {
+		i := 0
+		return func() (sieve.InvocationProfile, error) {
+			if i >= n {
+				return sieve.InvocationProfile{}, io.EOF
+			}
+			k := i % 8
+			h := uint64(i)*0x9e3779b97f4a7c15 + uint64(k)
+			h ^= h >> 29
+			jitter := float64(h%1000) / 1000
+			var instr float64
+			switch {
+			case k < 3: // Tier-1: constant per kernel
+				instr = float64(1000 * (k + 1))
+			case k < 6: // Tier-2: a few percent of spread
+				instr = float64(5000*(k+1)) * (1 + 0.05*jitter)
+			default: // Tier-3: bimodal
+				instr = float64(20000 * (1 + int(h%2)*10))
+				instr *= 1 + 0.02*jitter
+			}
+			row := sieve.InvocationProfile{
+				Kernel:           kernels[k],
+				Index:            i,
+				InstructionCount: instr,
+				CTASize:          64 << (k % 3),
+			}
+			i++
+			return row, nil
+		}
+	}
+	for _, n := range []int{20000, 80000, 320000} {
+		opts := sieve.StreamOptions{ReservoirSize: 1024}
+		b.Run(fmt.Sprintf("stream/seq/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			o := opts
+			o.Parallelism = 1
+			for i := 0; i < b.N; i++ {
+				if _, err := sieve.SampleStream(synthSource(n), o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("stream/par/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sieve.SampleStream(synthSource(n), opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("materialized/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				next := synthSource(n)
+				rows := make([]sieve.InvocationProfile, 0)
+				for {
+					r, err := next()
+					if err == io.EOF {
+						break
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					rows = append(rows, r)
+				}
+				if _, err := sieve.Sample(rows, sieve.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -33,10 +33,15 @@ func main() {
 		theta      = flag.Float64("theta", 0, "Sieve CoV threshold; 0 = paper default 0.4")
 		seed       = flag.Int64("seed", 0, "PKS clustering seed; 0 = default")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker count for workload preparation and the sampling pipelines (1 = sequential)")
+		stream     = flag.Bool("stream", false, "run Sieve stratification through the bounded-memory streaming pipeline")
+		reservoir  = flag.Int("reservoir", 0, "rows retained per kernel in -stream mode (0 = exact-at-experiment-scale default)")
 	)
 	flag.Parse()
 
-	r := experiments.NewRunner(experiments.Config{Scale: *scale, Theta: *theta, Seed: *seed, Parallelism: *workers})
+	r := experiments.NewRunner(experiments.Config{
+		Scale: *scale, Theta: *theta, Seed: *seed, Parallelism: *workers,
+		Stream: *stream, ReservoirSize: *reservoir,
+	})
 	ids := strings.Split(strings.ToLower(*experiment), ",")
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "warmup", "sim", "dse", "scaling", "baselines", "xval"}

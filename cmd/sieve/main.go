@@ -35,6 +35,8 @@ func main() {
 		validate     = flag.Bool("validate", true, "measure the full run and report prediction error (needs -workload)")
 		characterize = flag.Bool("characterize", false, "print the per-kernel workload characterization")
 		parallelism  = flag.Int("parallelism", runtime.GOMAXPROCS(0), "stratification worker count (1 = sequential; results are identical)")
+		stream       = flag.Bool("stream", false, "use the bounded-memory streaming sampler (single pass, per-kernel reservoirs)")
+		reservoir    = flag.Int("reservoir", 0, "rows retained per kernel in -stream mode (0 = default)")
 	)
 	flag.Parse()
 	if *characterize {
@@ -44,14 +46,38 @@ func main() {
 		}
 		return
 	}
-	if err := run(*workload, *specFile, *scale, *theta, *policy, *splitter, *arch, *profileIn, *profileOut, *validate, *parallelism); err != nil {
+	cfg := runConfig{
+		Workload: *workload, SpecFile: *specFile, Scale: *scale, Theta: *theta,
+		Policy: *policy, Splitter: *splitter, Arch: *arch,
+		ProfileIn: *profileIn, ProfileOut: *profileOut,
+		Validate: *validate, Parallelism: *parallelism,
+		Stream: *stream, Reservoir: *reservoir,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "sieve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(workload, specFile string, scale, theta float64, policyName, splitterName, archName, profileIn, profileOut string, validate bool, parallelism int) error {
-	opts := sieve.Options{Theta: theta, Parallelism: parallelism}
+// runConfig carries the resolved command-line options.
+type runConfig struct {
+	Workload, SpecFile     string
+	Scale, Theta           float64
+	Policy, Splitter, Arch string
+	ProfileIn, ProfileOut  string
+	Validate               bool
+	Parallelism            int
+	Stream                 bool
+	Reservoir              int
+}
+
+func run(cfg runConfig) error {
+	workload, specFile := cfg.Workload, cfg.SpecFile
+	scale := cfg.Scale
+	policyName, splitterName, archName := cfg.Policy, cfg.Splitter, cfg.Arch
+	profileIn, profileOut := cfg.ProfileIn, cfg.ProfileOut
+	validate := cfg.Validate
+	opts := sieve.Options{Theta: cfg.Theta, Parallelism: cfg.Parallelism}
 	switch policyName {
 	case "dominant-cta-first":
 		opts.Selection = sieve.SelectDominantCTAFirst
@@ -80,6 +106,9 @@ func run(workload, specFile string, scale, theta float64, policyName, splitterNa
 	if err != nil {
 		return err
 	}
+	if cfg.Stream && profileIn != "" && profileOut != "" {
+		return fmt.Errorf("-profile-out needs a materialized profile; drop it or drop -stream")
+	}
 
 	var profile *sieve.Profile
 	var w *sieve.Workload
@@ -103,6 +132,11 @@ func run(workload, specFile string, scale, theta float64, policyName, splitterNa
 			return err
 		}
 	case profileIn != "":
+		validate = false // no workload to measure
+		if cfg.Stream {
+			// Leave the profile on disk: SampleCSV streams it row by row.
+			break
+		}
 		f, err := os.Open(profileIn)
 		if err != nil {
 			return err
@@ -112,7 +146,6 @@ func run(workload, specFile string, scale, theta float64, policyName, splitterNa
 			return err
 		}
 		fmt.Printf("loaded profile: %d invocations from %s\n", profile.NumInvocations(), profileIn)
-		validate = false // no workload to measure
 	case workload != "":
 		if w, err = sieve.GenerateWorkload(workload, scale); err != nil {
 			return err
@@ -142,9 +175,32 @@ func run(workload, specFile string, scale, theta float64, policyName, splitterNa
 		fmt.Printf("profile CSV written to %s\n", profileOut)
 	}
 
-	plan, err := sieve.Sample(sieve.ProfileRows(profile), opts)
-	if err != nil {
-		return err
+	var plan *sieve.Plan
+	switch {
+	case cfg.Stream && profile == nil:
+		// -stream -profile-in: the bounded-memory path end to end — the
+		// profile table is never materialized.
+		f, err := os.Open(profileIn)
+		if err != nil {
+			return err
+		}
+		plan, err = sieve.SampleCSV(f, sieve.StreamOptions{Options: opts, ReservoirSize: cfg.Reservoir})
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("streamed profile from %s\n", profileIn)
+	case cfg.Stream:
+		plan, err = sieve.SampleStream(sieve.SliceSource(sieve.ProfileRows(profile)),
+			sieve.StreamOptions{Options: opts, ReservoirSize: cfg.Reservoir})
+		if err != nil {
+			return err
+		}
+	default:
+		plan, err = sieve.Sample(sieve.ProfileRows(profile), opts)
+		if err != nil {
+			return err
+		}
 	}
 	printPlan(plan)
 	if bound, err := plan.EstimateErrorBound(); err == nil {
@@ -162,16 +218,20 @@ func run(workload, specFile string, scale, theta float64, policyName, splitterNa
 		for _, c := range golden {
 			total += c
 		}
-		sp, err := plan.Speedup(golden)
-		if err != nil {
-			return err
-		}
 		fmt.Printf("\nvalidation on %s:\n", archCfg.Name)
 		fmt.Printf("  golden cycles     %.4g\n", total)
 		fmt.Printf("  predicted cycles  %.4g\n", pred.Cycles)
 		fmt.Printf("  predicted IPC     %.2f\n", pred.IPC)
 		fmt.Printf("  error             %.2f%%\n", 100*abs(pred.Cycles-total)/total)
-		fmt.Printf("  simulation speedup %.0fx\n", sp)
+		if plan.Sampled {
+			fmt.Printf("  simulation speedup unavailable (sampled plan: membership lists are partial)\n")
+		} else {
+			sp, err := plan.Speedup(golden)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  simulation speedup %.0fx\n", sp)
+		}
 	}
 	return nil
 }
@@ -223,8 +283,15 @@ func runCharacterize(workload string, scale, theta float64, archName, profileIn 
 }
 
 func printPlan(plan *sieve.Plan) {
+	// TierInvocations counts every streamed invocation even when a sampled
+	// plan retains only a bounded subset per stratum, so it is the honest
+	// total for both paths.
+	total := plan.TierInvocations[0] + plan.TierInvocations[1] + plan.TierInvocations[2]
 	fmt.Printf("\nstratification (θ=%.2f): %d strata over %d invocations\n",
-		plan.Theta, plan.NumStrata(), plan.NumInvocations())
+		plan.Theta, plan.NumStrata(), total)
+	if plan.Sampled {
+		fmt.Printf("sampled plan: %d invocations retained in bounded reservoirs\n", plan.NumInvocations())
+	}
 	fmt.Printf("tier mix: Tier-1 %d, Tier-2 %d, Tier-3 %d invocations\n",
 		plan.TierInvocations[0], plan.TierInvocations[1], plan.TierInvocations[2])
 

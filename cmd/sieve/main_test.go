@@ -6,15 +6,27 @@ import (
 	"testing"
 )
 
+// base returns a runConfig with the defaults the flag set would produce.
+func base() runConfig {
+	return runConfig{
+		Scale: 0.01, Theta: 0.4,
+		Policy: "dominant-cta-first", Splitter: "kde", Arch: "ampere",
+	}
+}
+
 func TestRunEndToEnd(t *testing.T) {
-	if err := run("gru", "", 0.01, 0.4, "dominant-cta-first", "kde", "ampere", "", "", true, 0); err != nil {
+	cfg := base()
+	cfg.Workload, cfg.Validate = "gru", true
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunPolicies(t *testing.T) {
 	for _, policy := range []string{"first-chronological", "max-cta"} {
-		if err := run("dwt2d", "", 1.0, 0.4, policy, "kde", "turing", "", "", false, 0); err != nil {
+		cfg := base()
+		cfg.Workload, cfg.Scale, cfg.Policy, cfg.Arch = "dwt2d", 1.0, policy, "turing"
+		if err := run(cfg); err != nil {
 			t.Fatalf("%s: %v", policy, err)
 		}
 	}
@@ -23,34 +35,77 @@ func TestRunPolicies(t *testing.T) {
 func TestRunProfileRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	csv := filepath.Join(dir, "profile.csv")
-	if err := run("histo", "", 1.0, 0.4, "dominant-cta-first", "kde", "ampere", "", csv, false, 0); err != nil {
+	cfg := base()
+	cfg.Workload, cfg.Scale, cfg.ProfileOut = "histo", 1.0, csv
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(csv); err != nil {
 		t.Fatalf("profile CSV not written: %v", err)
 	}
 	// Load the CSV back instead of a workload.
-	if err := run("", "", 0.01, 0.4, "dominant-cta-first", "kde", "ampere", csv, "", true, 0); err != nil {
+	cfg = base()
+	cfg.ProfileIn, cfg.Validate = csv, true
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunStream(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "profile.csv")
+	cfg := base()
+	cfg.Workload, cfg.Scale, cfg.ProfileOut = "histo", 1.0, csv
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stream the CSV end to end without materializing it.
+	cfg = base()
+	cfg.ProfileIn, cfg.Stream = csv, true
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// A tiny reservoir forces the sampled fallback; the run must still work.
+	cfg.Reservoir = 4
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Streaming straight from a generated workload, with validation: the
+	// sampler sees the rows through SliceSource and still predicts.
+	cfg = base()
+	cfg.Workload, cfg.Stream, cfg.Validate = "gru", true, true
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	// -profile-out cannot be served from the never-materialized CSV stream.
+	cfg = base()
+	cfg.ProfileIn, cfg.Stream, cfg.ProfileOut = csv, true, filepath.Join(dir, "again.csv")
+	if err := run(cfg); err == nil {
+		t.Fatal("want error for -stream -profile-in -profile-out")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	cases := []struct {
-		name string
-		call func() error
+		name   string
+		mutate func(*runConfig)
 	}{
-		{"no input", func() error { return run("", "", 0.1, 0.4, "dominant-cta-first", "kde", "ampere", "", "", false, 0) }},
-		{"bad policy", func() error { return run("gru", "", 0.1, 0.4, "nope", "kde", "ampere", "", "", false, 0) }},
-		{"bad arch", func() error { return run("gru", "", 0.1, 0.4, "dominant-cta-first", "kde", "tpu", "", "", false, 0) }},
-		{"unknown workload", func() error { return run("zzz", "", 0.1, 0.4, "dominant-cta-first", "kde", "ampere", "", "", false, 0) }},
-		{"missing profile", func() error {
-			return run("", "", 0.1, 0.4, "dominant-cta-first", "kde", "ampere", "/does/not/exist.csv", "", false, 0)
-		}},
+		{"no input", func(c *runConfig) { c.Scale = 0.1 }},
+		{"bad policy", func(c *runConfig) { c.Workload, c.Policy = "gru", "nope" }},
+		{"bad arch", func(c *runConfig) { c.Workload, c.Arch = "gru", "tpu" }},
+		{"unknown workload", func(c *runConfig) { c.Workload = "zzz" }},
+		{"missing profile", func(c *runConfig) { c.ProfileIn = "/does/not/exist.csv" }},
+		{"missing profile stream", func(c *runConfig) { c.ProfileIn, c.Stream = "/does/not/exist.csv", true }},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			if err := c.call(); err == nil {
+			cfg := base()
+			c.mutate(&cfg)
+			if err := run(cfg); err == nil {
 				t.Fatal("want error")
 			}
 		})
@@ -81,19 +136,27 @@ func TestRunFromCustomSpec(t *testing.T) {
 	if err := os.WriteFile(spec, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", spec, 1.0, 0.4, "dominant-cta-first", "gmm", "ampere", "", "", true, 0); err != nil {
+	cfg := base()
+	cfg.SpecFile, cfg.Scale, cfg.Splitter, cfg.Validate = spec, 1.0, "gmm", true
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", "/missing/spec.json", 1.0, 0.4, "dominant-cta-first", "kde", "ampere", "", "", false, 0); err == nil {
+	cfg = base()
+	cfg.SpecFile, cfg.Scale = "/missing/spec.json", 1.0
+	if err := run(cfg); err == nil {
 		t.Fatal("want error for missing spec file")
 	}
 }
 
 func TestRunRejectsUnknownSplitter(t *testing.T) {
-	if err := run("gru", "", 0.01, 0.4, "dominant-cta-first", "median", "ampere", "", "", false, 0); err == nil {
+	cfg := base()
+	cfg.Workload, cfg.Splitter = "gru", "median"
+	if err := run(cfg); err == nil {
 		t.Fatal("want error for unknown splitter")
 	}
-	if err := run("gst", "", 1.0, 0.4, "dominant-cta-first", "equal-width", "ampere", "", "", true, 0); err != nil {
+	cfg = base()
+	cfg.Workload, cfg.Scale, cfg.Splitter, cfg.Validate = "gst", 1.0, "equal-width", true
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -87,22 +87,54 @@ func (r *Result) NumInvocations() int {
 	return n
 }
 
+// golden resolves one invocation Index to its golden cycle count.
+// goldenCycles is positional: entry i belongs to the i-th profile row
+// ingested by Stratify/StratifyStream, NOT to global invocation index i. The
+// two coincide for dense 0..n-1 profiles, but CSV-loaded or filtered profiles
+// with sparse or offset indices must be resolved through the plan's
+// index→position mapping — indexing goldenCycles by Index directly would
+// silently read another invocation's cycles whenever the index happens to be
+// in range.
+func (r *Result) golden(goldenCycles []float64, idx int) (float64, error) {
+	pos, ok := r.posByIndex[idx]
+	if !ok {
+		return 0, fmt.Errorf("core: invocation index %d not in the stratified profile", idx)
+	}
+	if pos >= len(goldenCycles) {
+		return 0, fmt.Errorf("core: golden cycles has %d entries; invocation %d is profile row %d", len(goldenCycles), idx, pos)
+	}
+	return goldenCycles[pos], nil
+}
+
 // Speedup returns the simulation speedup of the sampling plan given the
 // golden per-invocation cycle counts of the full run: total cycles divided by
 // the representatives' cycles (Section IV: "the ratio of the total cycle
 // count for the entire workload execution divided by the total cycle count
 // for all representative kernel invocations").
+//
+// goldenCycles parallels the profile rows passed to Stratify: entry i is the
+// measured cycle count of the i-th row, whatever its global invocation
+// Index. Sampled streaming plans cannot compute a speedup — their membership
+// lists are bounded samples, so the numerator would silently undercount.
 func (r *Result) Speedup(goldenCycles []float64) (float64, error) {
+	if r.Sampled {
+		return 0, fmt.Errorf("core: speedup undefined for a sampled streaming plan (stratum membership is partial); re-stratify with a reservoir that fits every kernel")
+	}
 	var total, reps float64
 	for i := range r.Strata {
 		s := &r.Strata[i]
 		for _, idx := range s.Invocations {
-			if idx < 0 || idx >= len(goldenCycles) {
-				return 0, fmt.Errorf("core: invocation index %d outside golden cycles (%d)", idx, len(goldenCycles))
+			c, err := r.golden(goldenCycles, idx)
+			if err != nil {
+				return 0, err
 			}
-			total += goldenCycles[idx]
+			total += c
 		}
-		reps += goldenCycles[s.Representative]
+		c, err := r.golden(goldenCycles, s.Representative)
+		if err != nil {
+			return 0, err
+		}
+		reps += c
 	}
 	if reps == 0 {
 		return 0, fmt.Errorf("core: representatives have zero cycles")
@@ -112,17 +144,23 @@ func (r *Result) Speedup(goldenCycles []float64) (float64, error) {
 
 // WeightedCycleCoV returns the invocation-weighted mean coefficient of
 // variation of cycle counts within strata — the dispersion metric of Fig. 4.
-// Single-member strata contribute zero dispersion.
+// Single-member strata contribute zero dispersion. goldenCycles follows the
+// same positional contract as Speedup: entry i belongs to the i-th profile
+// row, resolved through the plan's index→position mapping.
 func (r *Result) WeightedCycleCoV(goldenCycles []float64) (float64, error) {
+	if r.Sampled {
+		return 0, fmt.Errorf("core: cycle CoV undefined for a sampled streaming plan (stratum membership is partial)")
+	}
 	var num, den float64
 	for i := range r.Strata {
 		s := &r.Strata[i]
 		var acc stats.Accumulator
 		for _, idx := range s.Invocations {
-			if idx < 0 || idx >= len(goldenCycles) {
-				return 0, fmt.Errorf("core: invocation index %d outside golden cycles (%d)", idx, len(goldenCycles))
+			c, err := r.golden(goldenCycles, idx)
+			if err != nil {
+				return 0, err
 			}
-			acc.Add(goldenCycles[idx])
+			acc.Add(c)
 		}
 		num += acc.CoV() * float64(len(s.Invocations))
 		den += float64(len(s.Invocations))
@@ -135,13 +173,16 @@ func (r *Result) WeightedCycleCoV(goldenCycles []float64) (float64, error) {
 
 // TierFractions computes, for each θ in thetas, the fraction of invocations
 // classified Tier-1, Tier-2 and Tier-3 — the quantity Fig. 2 plots. The
-// returned slice parallels thetas; each element sums to one.
+// returned slice parallels thetas; each element sums to one. Every θ in the
+// sweep is used verbatim: a zero entry is an error, not a silent request for
+// DefaultTheta (a Fig. 2-style sweep including θ=0 used to quietly report
+// the θ=0.4 mix instead).
 func TierFractions(profile []InvocationProfile, thetas []float64) ([][3]float64, error) {
 	out := make([][3]float64, len(thetas))
 	for ti, theta := range thetas {
-		res, err := Stratify(profile, Options{Theta: theta})
+		res, err := Stratify(profile, Options{Theta: theta, ThetaSet: true})
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("theta sweep entry %d (θ=%g): %w", ti, theta, err)
 		}
 		total := float64(res.NumInvocations())
 		for tier := 0; tier < 3; tier++ {

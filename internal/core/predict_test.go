@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -214,5 +215,127 @@ func TestNumInvocationsAndStrata(t *testing.T) {
 	}
 	if res.NumStrata() != 2 || res.NumInvocations() != 3 {
 		t.Fatalf("strata %d, invocations %d", res.NumStrata(), res.NumInvocations())
+	}
+}
+
+// TestTierFractionsRejectsThetaZero is the regression test for the silent
+// θ=0 remap: a Fig. 2-style sweep containing θ=0 used to run that entry at
+// DefaultTheta and report the wrong tier mix. It must now fail loudly.
+func TestTierFractionsRejectsThetaZero(t *testing.T) {
+	p := profileOf(
+		[3]interface{}{"a", 100.0, 64},
+		[3]interface{}{"a", 150.0, 64},
+	)
+	_, err := TierFractions(p, []float64{0.4, 0})
+	if err == nil {
+		t.Fatal("sweep with θ=0 must error, not silently run at DefaultTheta")
+	}
+	if want := "θ=0"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not identify the bad sweep entry", err)
+	}
+}
+
+// TestThetaZeroExplicit covers the ThetaSet sentinel: the zero-value Options
+// still select DefaultTheta, while an explicitly-set zero errors.
+func TestThetaZeroExplicit(t *testing.T) {
+	p := profileOf([3]interface{}{"a", 100.0, 64})
+	res, err := Stratify(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Theta != DefaultTheta {
+		t.Fatalf("zero-value options ran at θ=%g, want DefaultTheta", res.Theta)
+	}
+	if _, err := Stratify(p, Options{ThetaSet: true}); err == nil {
+		t.Fatal("explicit θ=0 must error")
+	}
+	res, err = Stratify(p, Options{Theta: 0.3, ThetaSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Theta != 0.3 {
+		t.Fatalf("explicit θ=0.3 ran at %g", res.Theta)
+	}
+}
+
+// sparseProfile clones a dense profile onto offset, gappy invocation indices.
+func sparseProfile(p []InvocationProfile, base, stride int) []InvocationProfile {
+	out := append([]InvocationProfile(nil), p...)
+	for i := range out {
+		out[i].Index = base + stride*i
+	}
+	return out
+}
+
+// TestSpeedupSparseIndices is the regression test for golden-cycle
+// mis-indexing: with offset indices, Speedup used to either reject a
+// correct-length golden slice ("outside golden cycles") or, when the offset
+// indices happened to stay in range, silently read the wrong invocation's
+// cycles. goldenCycles is positional — entry i belongs to profile row i.
+func TestSpeedupSparseIndices(t *testing.T) {
+	dense := profileOf(
+		[3]interface{}{"a", 100.0, 64},
+		[3]interface{}{"a", 100.0, 64},
+		[3]interface{}{"b", 900.0, 64},
+		[3]interface{}{"b", 900.0, 64},
+	)
+	golden := []float64{10, 30, 50, 70}
+	wantSp := func() float64 {
+		res, err := Stratify(dense, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := res.Speedup(golden)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sp
+	}()
+	for _, c := range []struct {
+		name         string
+		base, stride int
+	}{
+		{"offset out of range", 1000, 1},
+		{"sparse in range", 0, 2}, // indices 0,2,4,6 with 2 in range: silent wrong read before the fix
+		{"offset in range", 1, 1}, // indices 1..4, three in range
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			sparse := sparseProfile(dense, c.base, c.stride)
+			res, err := Stratify(sparse, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sp, err := res.Speedup(golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sp != wantSp {
+				t.Fatalf("speedup %g, want %g", sp, wantSp)
+			}
+			cov, err := res.WeightedCycleCoV(golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantRes, err := Stratify(dense, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantCov, err := wantRes.WeightedCycleCoV(golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cov != wantCov {
+				t.Fatalf("weighted CoV %g, want %g", cov, wantCov)
+			}
+		})
+	}
+	// A short golden slice still errors with a position-aware message.
+	sparse := sparseProfile(dense, 1000, 1)
+	res, err := Stratify(sparse, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Speedup(golden[:2]); err == nil {
+		t.Fatal("want error for short golden slice")
 	}
 }

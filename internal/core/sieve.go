@@ -135,8 +135,16 @@ type InvocationProfile struct {
 // Options configures stratification.
 type Options struct {
 	// Theta is the CoV threshold θ separating Tier-2 from Tier-3;
-	// DefaultTheta if zero.
+	// DefaultTheta if zero (unless ThetaSet is true). θ = 0 itself is
+	// degenerate — no multi-valued stratum can reach CoV < 0 — and is
+	// rejected when requested explicitly via ThetaSet.
 	Theta float64
+	// ThetaSet marks Theta as explicitly chosen: Theta is used verbatim and
+	// Theta == 0 becomes a loud error instead of silently running at
+	// DefaultTheta. Sweeps that iterate θ values should set it so a stray
+	// zero in the sweep fails instead of quietly reporting DefaultTheta
+	// results.
+	ThetaSet bool
 	// Selection is the representative-selection policy.
 	Selection SelectionPolicy
 	// Tier3Splitter picks the Tier-3 splitting algorithm.
@@ -151,6 +159,9 @@ type Options struct {
 // withDefaults returns the options with zero values replaced by defaults.
 func (o Options) withDefaults() (Options, error) {
 	if o.Theta == 0 {
+		if o.ThetaSet {
+			return o, fmt.Errorf("core: theta 0 is degenerate (no multi-invocation stratum can reach CoV < 0); use a positive threshold")
+		}
 		o.Theta = DefaultTheta
 	}
 	if o.Theta < 0 {
@@ -204,8 +215,21 @@ type Result struct {
 	TierInvocations [3]int
 	// Theta is the threshold used.
 	Theta float64
-	// profile retains the input for prediction (indexed by Index).
+	// Sampled reports that at least one kernel exceeded its streaming
+	// reservoir, so stratum membership lists (and anything derived from
+	// them, e.g. Speedup) cover a bounded sample rather than every
+	// invocation. Plans built by Stratify, and streaming plans where every
+	// kernel fit its reservoir, are exact and leave this false.
+	Sampled bool
+	// byIndex retains the input rows needed for prediction (keyed by
+	// global invocation Index). Exhaustive for materialized plans; retained
+	// rows plus representatives for sampled streaming plans.
 	byIndex map[int]*InvocationProfile
+	// posByIndex maps a global invocation Index to the row's chronological
+	// position in the ingested profile — the index golden-cycle arrays are
+	// addressed by. Profiles with sparse or offset invocation indices make
+	// the two differ.
+	posByIndex map[int]int
 }
 
 // Stratify groups the profiled invocations into strata per Section III-B and
@@ -219,6 +243,7 @@ func Stratify(profile []InvocationProfile, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("core: empty profile")
 	}
 	byIndex := make(map[int]*InvocationProfile, len(profile))
+	posByIndex := make(map[int]int, len(profile))
 	for i := range profile {
 		p := &profile[i]
 		if p.Kernel == "" {
@@ -234,6 +259,7 @@ func Stratify(profile []InvocationProfile, opts Options) (*Result, error) {
 			return nil, fmt.Errorf("core: duplicate invocation index %d", p.Index)
 		}
 		byIndex[p.Index] = p
+		posByIndex[p.Index] = i
 	}
 
 	// Group rows per kernel, preserving chronological order.
@@ -288,7 +314,7 @@ func Stratify(profile []InvocationProfile, opts Options) (*Result, error) {
 		wg.Wait()
 	}
 
-	res := &Result{Theta: opts.Theta, byIndex: byIndex}
+	res := &Result{Theta: opts.Theta, byIndex: byIndex, posByIndex: posByIndex}
 	for _, out := range outputs {
 		if out.err != nil {
 			return nil, out.err
@@ -340,16 +366,7 @@ func stratifyKernel(kernel string, rows []*InvocationProfile, opts Options) ([]S
 	// map value groups back to rows. The splitters return ascending groups
 	// that partition the sorted sample, so sorting rows by (count, index)
 	// and carving by group lengths reproduces the assignment exactly.
-	var groups [][]float64
-	var err error
-	switch opts.Tier3Splitter {
-	case SplitKDE:
-		groups, err = kde.SplitUnderCoV(counts, opts.Theta)
-	case SplitEqualWidth:
-		groups, err = equalWidthSplit(counts, opts.Theta)
-	case SplitGMM:
-		groups, err = kde.SplitUnderCoVGMM(counts, opts.Theta)
-	}
+	groups, err := splitTier3(counts, opts)
 	if err != nil {
 		return nil, tier, err
 	}
@@ -375,6 +392,21 @@ func stratifyKernel(kernel string, rows []*InvocationProfile, opts Options) ([]S
 		return nil, tier, fmt.Errorf("splitter dropped invocations: %d of %d assigned", at, len(sortedRows))
 	}
 	return strata, tier, nil
+}
+
+// splitTier3 partitions instruction counts into ascending groups whose CoV
+// is below θ, with the configured splitting algorithm.
+func splitTier3(counts []float64, opts Options) ([][]float64, error) {
+	switch opts.Tier3Splitter {
+	case SplitKDE:
+		return kde.SplitUnderCoV(counts, opts.Theta)
+	case SplitEqualWidth:
+		return equalWidthSplit(counts, opts.Theta)
+	case SplitGMM:
+		return kde.SplitUnderCoVGMM(counts, opts.Theta)
+	default:
+		return nil, fmt.Errorf("unknown splitter %d", opts.Tier3Splitter)
+	}
 }
 
 // buildStratum assembles a stratum from member rows and selects its

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/gpusampling/sieve/internal/stream"
+)
+
+// StreamOptions configures bounded-memory streaming stratification. The
+// embedded Options carry the usual θ/selection/splitter/parallelism knobs;
+// the extra fields bound the streaming pass itself.
+type StreamOptions struct {
+	Options
+	// ReservoirSize bounds the rows retained per kernel;
+	// stream.DefaultReservoirSize if zero. Kernels whose invocation count
+	// fits the reservoir are stratified exactly — byte-identical to
+	// Stratify on the same rows; larger kernels fall back to sampled
+	// Tier-3 splitting and partial membership lists (Result.Sampled).
+	ReservoirSize int
+	// Seed seeds the deterministic reservoir priority hash;
+	// stream.DefaultSeed if zero. Reservoir membership is a pure function
+	// of (Seed, invocation index), independent of Parallelism.
+	Seed uint64
+	// BatchSize is the dispatch granularity of the sharded streaming pass;
+	// stream.DefaultBatchSize if zero.
+	BatchSize int
+}
+
+// RowSource yields the next profile row, or io.EOF after the last one. Rows
+// must arrive in strictly ascending global Index order (the natural order of
+// a chronological profile log), which is how the single pass detects
+// duplicate indices without retaining an index set.
+type RowSource func() (InvocationProfile, error)
+
+// StratifyStream is the bounded-memory analogue of Stratify: a single pass
+// over the source feeds per-kernel online accumulators (tier classification
+// without retaining rows), exact streaming dominant-CTA/first-invocation
+// tracking, and a deterministic seeded reservoir per kernel. Memory is
+// O(kernels × ReservoirSize) regardless of how many invocations stream by.
+//
+//   - Every kernel fits its reservoir → the plan is byte-identical to
+//     Stratify on the same rows, at any Parallelism.
+//   - A kernel overflows → its tier comes from the merged accumulators, its
+//     representative and instruction totals remain exact (streaming
+//     frequency/first tracking covers every invocation), but Tier-3 KDE
+//     splitting runs on the reservoir sample, stratum membership lists are
+//     partial, and the plan is marked Sampled.
+func StratifyStream(next RowSource, opts StreamOptions) (*Result, error) {
+	o, err := opts.Options.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	digest, err := stream.Ingest(func() (stream.Row, error) {
+		p, err := next()
+		if err != nil {
+			return stream.Row{}, err
+		}
+		return stream.Row{
+			Kernel:           p.Kernel,
+			Index:            p.Index,
+			InstructionCount: p.InstructionCount,
+			CTASize:          p.CTASize,
+		}, nil
+	}, stream.Options{
+		ReservoirSize: opts.ReservoirSize,
+		Seed:          opts.Seed,
+		Parallelism:   o.Parallelism,
+		BatchSize:     opts.BatchSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if digest.Rows == 0 {
+		return nil, fmt.Errorf("core: empty profile")
+	}
+
+	res := &Result{
+		Theta:      o.Theta,
+		byIndex:    make(map[int]*InvocationProfile),
+		posByIndex: make(map[int]int),
+	}
+	for _, kd := range digest.Kernels {
+		var strata []Stratum
+		var tier Tier
+		if kd.Complete() {
+			// Exact fallback: the reservoir holds every row, so run the
+			// very same per-kernel stratifier Stratify uses.
+			rows := res.registerRows(kd.Rows())
+			strata, tier, err = stratifyKernel(kd.Name, rows, o)
+		} else {
+			res.Sampled = true
+			strata, tier, err = stratifyKernelDigest(kd, o, res)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: kernel %s: %w", kd.Name, err)
+		}
+		res.TierInvocations[tier-1] += kd.N()
+		res.Strata = append(res.Strata, strata...)
+	}
+	for i := range res.Strata {
+		res.TotalInstructions += res.Strata[i].InstructionSum
+	}
+	for i := range res.Strata {
+		res.Strata[i].Weight = res.Strata[i].InstructionSum / res.TotalInstructions
+	}
+	return res, nil
+}
+
+// registerRows copies retained stream rows into the result's lookup maps and
+// returns them as stratifier input.
+func (r *Result) registerRows(rows []stream.Row) []*InvocationProfile {
+	profs := make([]InvocationProfile, len(rows))
+	out := make([]*InvocationProfile, len(rows))
+	for i, row := range rows {
+		profs[i] = InvocationProfile{
+			Kernel:           row.Kernel,
+			Index:            row.Index,
+			InstructionCount: row.InstructionCount,
+			CTASize:          row.CTASize,
+		}
+		r.byIndex[row.Index] = &profs[i]
+		r.posByIndex[row.Index] = row.Pos
+		out[i] = &profs[i]
+	}
+	return out
+}
+
+// registerRow copies one stream row (e.g. an off-reservoir representative)
+// into the result's lookup maps.
+func (r *Result) registerRow(row stream.Row) {
+	if _, ok := r.byIndex[row.Index]; ok {
+		return
+	}
+	p := InvocationProfile{
+		Kernel:           row.Kernel,
+		Index:            row.Index,
+		InstructionCount: row.InstructionCount,
+		CTASize:          row.CTASize,
+	}
+	r.byIndex[row.Index] = &p
+	r.posByIndex[row.Index] = row.Pos
+}
+
+// stratifyKernelDigest builds strata for a kernel that overflowed its
+// reservoir, from the digest's exact aggregates plus the bounded row sample.
+func stratifyKernelDigest(kd *stream.KernelDigest, opts Options, res *Result) ([]Stratum, Tier, error) {
+	acc := kd.Stats()
+	var tier Tier
+	switch {
+	case acc.Min() == acc.Max():
+		tier = Tier1
+	case acc.CoV() < opts.Theta:
+		tier = Tier2
+	default:
+		tier = Tier3
+	}
+
+	rows := res.registerRows(kd.Rows())
+	if tier != Tier3 {
+		// One stratum covering the whole kernel. The instruction total and
+		// the representative are exact — the accumulator and the streaming
+		// CTA-frequency/first-row tracking saw every invocation — only the
+		// membership list is limited to the retained sample.
+		s := Stratum{Kernel: kd.Name, Tier: tier, InstructionSum: acc.Sum()}
+		s.Invocations = make([]int, len(rows))
+		for i, p := range rows {
+			s.Invocations[i] = p.Index
+		}
+		var rep stream.Row
+		switch {
+		case tier == Tier1 || opts.Selection == SelectFirstChronological:
+			rep = kd.First()
+		case opts.Selection == SelectDominantCTAFirst:
+			rep = kd.DominantCTA().First
+		case opts.Selection == SelectMaxCTA:
+			rep = kd.MaxCTA().First
+		default:
+			return nil, tier, fmt.Errorf("unknown selection policy %d", opts.Selection)
+		}
+		res.registerRow(rep)
+		s.Representative = rep.Index
+		return []Stratum{s}, tier, nil
+	}
+
+	// Tier-3: split the reservoir sample exactly as the materializing path
+	// splits the full kernel, then scale each stratum's sampled instruction
+	// share up to the kernel's exact total so weights stay unbiased.
+	counts := make([]float64, len(rows))
+	var sampledSum float64
+	for i, p := range rows {
+		counts[i] = p.InstructionCount
+		sampledSum += p.InstructionCount
+	}
+	groups, err := splitTier3(counts, opts)
+	if err != nil {
+		return nil, tier, err
+	}
+	sortedRows := append([]*InvocationProfile(nil), rows...)
+	sort.SliceStable(sortedRows, func(a, b int) bool {
+		if sortedRows[a].InstructionCount != sortedRows[b].InstructionCount {
+			return sortedRows[a].InstructionCount < sortedRows[b].InstructionCount
+		}
+		return sortedRows[a].Index < sortedRows[b].Index
+	})
+	scale := acc.Sum() / sampledSum
+	var strata []Stratum
+	at := 0
+	for _, g := range groups {
+		members := sortedRows[at : at+len(g)]
+		at += len(g)
+		s, err := buildStratum(kd.Name, tier, members, opts)
+		if err != nil {
+			return nil, tier, err
+		}
+		s.InstructionSum *= scale
+		strata = append(strata, s)
+	}
+	if at != len(sortedRows) {
+		return nil, tier, fmt.Errorf("splitter dropped invocations: %d of %d assigned", at, len(sortedRows))
+	}
+	return strata, tier, nil
+}

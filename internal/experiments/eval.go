@@ -6,6 +6,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 
 	"github.com/gpusampling/sieve/internal/core"
 	"github.com/gpusampling/sieve/internal/cudamodel"
@@ -29,6 +30,16 @@ type Config struct {
 	// (stratification fan-out, PKS k-sweep); 0 selects GOMAXPROCS,
 	// 1 forces sequential execution. Results are identical either way.
 	Parallelism int
+	// Stream routes Sieve stratification through the bounded-memory
+	// streaming pipeline (core.StratifyStream) instead of the materializing
+	// one. With the default ReservoirSize every experiment-scale kernel
+	// fits its reservoir, so tables and figures are unchanged.
+	Stream bool
+	// ReservoirSize bounds the rows retained per kernel in Stream mode;
+	// 0 selects a generous default that keeps experiment-scale workloads
+	// exact (the evaluation needs full membership lists for Speedup and
+	// WeightedCycleCoV).
+	ReservoirSize int
 }
 
 // DefaultScale keeps full-suite experiments laptop-sized while preserving the
@@ -45,7 +56,29 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.ReservoirSize == 0 {
+		c.ReservoirSize = 1 << 20
+	}
 	return c
+}
+
+// stratify runs Sieve stratification at the given θ through whichever
+// pipeline the config selects — every experiment call site goes through
+// here so -stream exercises the streaming path end to end.
+func (c Config) stratify(rows []core.InvocationProfile, theta float64) (*core.Result, error) {
+	opts := core.Options{Theta: theta, Parallelism: c.Parallelism}
+	if !c.Stream {
+		return core.Stratify(rows, opts)
+	}
+	i := 0
+	return core.StratifyStream(func() (core.InvocationProfile, error) {
+		if i >= len(rows) {
+			return core.InvocationProfile{}, io.EOF
+		}
+		r := rows[i]
+		i++
+		return r, nil
+	}, core.StreamOptions{Options: opts, ReservoirSize: c.ReservoirSize})
 }
 
 // Evaluation is the per-workload comparison of Sieve and PKS on one
@@ -110,7 +143,7 @@ func prepare(spec workloads.Spec, cfg Config) (*prepared, error) {
 	}
 	p.sieveProfile = SieveProfile(icProf)
 	p.sieveProfSec = icProf.WallSeconds
-	p.sieve, err = core.Stratify(p.sieveProfile, core.Options{Theta: cfg.Theta, Parallelism: cfg.Parallelism})
+	p.sieve, err = cfg.stratify(p.sieveProfile, cfg.Theta)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -325,4 +326,42 @@ func coreTierFractionsImpl(p *prepared) ([][3]float64, error) {
 
 func coreStratifyAt(p *prepared, theta float64) (*core.Result, error) {
 	return core.Stratify(p.sieveProfile, core.Options{Theta: theta})
+}
+
+// TestStreamConfigMatchesMaterialized: with the default (exact-at-scale)
+// reservoir, routing the experiments through the streaming pipeline must
+// reproduce the materialized plan byte for byte, so every figure and table
+// is unchanged under -stream.
+func TestStreamConfigMatchesMaterialized(t *testing.T) {
+	spec, err := workloads.ByName("gru")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := prepare(spec, testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamCfg := testCfg
+	streamCfg.Stream = true
+	streamed, err := prepare(spec, streamCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.sieve.Sampled {
+		t.Fatal("default experiment reservoir must keep the plan exact")
+	}
+	if !reflect.DeepEqual(streamed.sieve.Strata, exact.sieve.Strata) {
+		t.Fatal("streaming experiments produced a different plan")
+	}
+	evExact, err := EvaluateWorkload(spec, testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evStream, err := EvaluateWorkload(spec, streamCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *evExact != *evStream {
+		t.Fatalf("evaluations diverge:\n exact  %+v\n stream %+v", evExact, evStream)
+	}
 }

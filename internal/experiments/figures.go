@@ -467,7 +467,7 @@ func (r *Runner) Fig10() ([]ThetaPoint, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := core.Stratify(p.sieveProfile, core.Options{Theta: theta, Parallelism: r.cfg.Parallelism})
+			res, err := r.cfg.stratify(p.sieveProfile, theta)
 			if err != nil {
 				return nil, err
 			}

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"github.com/gpusampling/sieve/internal/core"
 	"github.com/gpusampling/sieve/internal/gpu"
 	"github.com/gpusampling/sieve/internal/profiler"
 	"github.com/gpusampling/sieve/internal/stats"
@@ -60,7 +59,7 @@ func (r *Runner) Scaling() ([]ScalingRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			plan, err := core.Stratify(SieveProfile(prof), core.Options{Theta: r.cfg.Theta, Parallelism: r.cfg.Parallelism})
+			plan, err := r.cfg.stratify(SieveProfile(prof), r.cfg.Theta)
 			if err != nil {
 				return nil, err
 			}

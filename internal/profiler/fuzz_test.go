@@ -2,6 +2,8 @@ package profiler
 
 import (
 	"bytes"
+	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -28,6 +30,8 @@ func FuzzReadCSV(f *testing.F) {
 	f.Add("")
 	f.Add("kernel,index,seq,cta_size,instruction_count\nk,0,0,128,5\n")
 	f.Add("kernel,index\nbroken\n")
+	// Duplicate metric columns must be rejected, not parsed last-one-wins.
+	f.Add("kernel,index,seq,cta_size,instruction_count,instruction_count\nk,0,0,128,5,6\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		p, err := ReadCSV(strings.NewReader(in))
 		if err != nil {
@@ -45,6 +49,39 @@ func FuzzReadCSV(f *testing.F) {
 		}
 		if _, err := ReadCSV(&buf); err != nil {
 			t.Fatalf("rewritten profile cannot be reread: %v", err)
+		}
+	})
+}
+
+// FuzzCSVScanner checks the streaming reader against the materializing one:
+// both must accept/reject the same inputs and, when they accept, produce
+// identical record streams — so the bounded-memory path can never silently
+// diverge from the reference parse.
+func FuzzCSVScanner(f *testing.F) {
+	f.Add("kernel,index,seq,cta_size,instruction_count\nk,0,0,128,5\nk,1,1,64,9\n")
+	f.Add("")
+	f.Add("kernel,index,seq,cta_size,instruction_count,instruction_count\nk,0,0,128,5,6\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		want, wantErr := ReadCSV(strings.NewReader(in))
+		var got []Record
+		var gotErr error
+		sc, err := NewCSVScanner(strings.NewReader(in))
+		if err != nil {
+			gotErr = err
+		} else {
+			for sc.Next() {
+				got = append(got, sc.Record())
+			}
+			gotErr = sc.Err()
+			if gotErr == nil && len(got) == 0 {
+				gotErr = fmt.Errorf("no records") // ReadCSV rejects empty tables
+			}
+		}
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("accept/reject divergence: ReadCSV err=%v scanner err=%v", wantErr, gotErr)
+		}
+		if wantErr == nil && !reflect.DeepEqual(got, want.Records) {
+			t.Fatal("streamed records diverge from materialized records")
 		}
 	})
 }

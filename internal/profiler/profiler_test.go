@@ -248,6 +248,7 @@ func TestReadCSVErrors(t *testing.T) {
 		{"too few columns", "kernel,index\nk,0\n"},
 		{"wrong fixed column", "kernel,index,seq,block,instruction_count\n"},
 		{"unknown metric", "kernel,index,seq,cta_size,warp_count\nk,0,0,128,5\n"},
+		{"duplicate metric column", "kernel,index,seq,cta_size,instruction_count,instruction_count\nk,0,0,128,5,6\n"},
 		{"bad index", "kernel,index,seq,cta_size,instruction_count\nk,x,0,128,5\n"},
 		{"bad seq", "kernel,index,seq,cta_size,instruction_count\nk,0,x,128,5\n"},
 		{"bad cta", "kernel,index,seq,cta_size,instruction_count\nk,0,0,x,5\n"},
