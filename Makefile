@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench bench-stream bench-all vet fmt fuzz-smoke experiments record clean
+.PHONY: all build test test-short test-race bench bench-stream bench-serve bench-all vet fmt fuzz-smoke serve experiments record clean
 
 all: build test
 
@@ -40,6 +40,17 @@ bench-stream:
 	$(GO) test -run XXX -bench 'BenchmarkSampleStream' \
 		-benchmem -benchtime 1x -json . > BENCH_stream.json
 	@echo "benchmark event stream written to BENCH_stream.json"
+
+# Plan-service request latency: a full cache-miss sampling request vs the
+# content-hash cache-hit fast path, recorded to BENCH_serve.json.
+bench-serve:
+	$(GO) test -run XXX -bench 'BenchmarkServe' \
+		-benchmem -benchtime 1x -json ./internal/server > BENCH_serve.json
+	@echo "benchmark event stream written to BENCH_serve.json"
+
+# Run the sieved plan service on the default port.
+serve:
+	$(GO) run ./cmd/sieved -addr :8372
 
 # Short fuzz pass over every profiler CSV fuzz target (CI runs the same).
 fuzz-smoke:

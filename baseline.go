@@ -1,6 +1,8 @@
 package sieve
 
 import (
+	"context"
+
 	"github.com/gpusampling/sieve/internal/pks"
 )
 
@@ -43,4 +45,11 @@ type PKSPlan = pks.Result
 // select one representative per cluster.
 func PKSSelect(features [][]float64, goldenCycles []float64, opts PKSOptions) (*PKSPlan, error) {
 	return pks.Select(features, goldenCycles, opts)
+}
+
+// PKSSelectContext is PKSSelect with cancellation: the k = 1..MaxK sweep
+// observes ctx between candidate clusterings, so a cancelled or timed-out
+// caller gets ctx.Err() back and releases the sweep workers.
+func PKSSelectContext(ctx context.Context, features [][]float64, goldenCycles []float64, opts PKSOptions) (*PKSPlan, error) {
+	return pks.SelectContext(ctx, features, goldenCycles, opts)
 }

@@ -20,22 +20,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"strings"
 
+	"github.com/gpusampling/sieve/internal/cliflags"
 	"github.com/gpusampling/sieve/internal/experiments"
 )
 
 func main() {
 	var (
 		experiment = flag.String("experiment", "all", "experiment id (table1, table2, fig2..fig10, all)")
-		scale      = flag.Float64("scale", 0, "workload scale factor in (0, 1]; 0 = default")
-		theta      = flag.Float64("theta", 0, "Sieve CoV threshold; 0 = paper default 0.4")
-		seed       = flag.Int64("seed", 0, "PKS clustering seed; 0 = default")
-		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker count for workload preparation and the sampling pipelines (1 = sequential)")
-		stream     = flag.Bool("stream", false, "run Sieve stratification through the bounded-memory streaming pipeline")
-		reservoir  = flag.Int("reservoir", 0, "rows retained per kernel in -stream mode (0 = exact-at-experiment-scale default)")
+		scale      = cliflags.Scale(flag.CommandLine, 0)
+		theta      = cliflags.Theta(flag.CommandLine)
+		seed       = cliflags.Seed(flag.CommandLine)
+		workers    = cliflags.Parallelism(flag.CommandLine, "workers")
 	)
+	stream, reservoir := cliflags.Stream(flag.CommandLine)
 	flag.Parse()
 
 	r := experiments.NewRunner(experiments.Config{

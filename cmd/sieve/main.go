@@ -15,29 +15,28 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"sort"
 
 	"github.com/gpusampling/sieve"
+	"github.com/gpusampling/sieve/internal/cliflags"
 )
 
 func main() {
 	var (
 		workload     = flag.String("workload", "", "Table I workload name to generate and profile")
 		specFile     = flag.String("spec", "", "generate from a custom workload spec JSON instead of a catalog name")
-		scale        = flag.Float64("scale", 0.05, "workload scale factor in (0, 1]")
-		theta        = flag.Float64("theta", sieve.DefaultTheta, "CoV threshold θ")
+		scale        = cliflags.Scale(flag.CommandLine, 0.05)
+		theta        = cliflags.Theta(flag.CommandLine)
 		policy       = flag.String("policy", "dominant-cta-first", "representative policy: dominant-cta-first, first-chronological, max-cta")
 		splitter     = flag.String("splitter", "kde", "Tier-3 splitter: kde, equal-width, gmm")
-		arch         = flag.String("arch", "ampere", "hardware model: ampere, turing, or a JSON arch file")
+		arch         = cliflags.Arch(flag.CommandLine)
 		profileIn    = flag.String("profile-in", "", "read the profile from this CSV instead of profiling")
 		profileOut   = flag.String("profile-out", "", "write the instruction-count profile CSV here")
 		validate     = flag.Bool("validate", true, "measure the full run and report prediction error (needs -workload)")
 		characterize = flag.Bool("characterize", false, "print the per-kernel workload characterization")
-		parallelism  = flag.Int("parallelism", runtime.GOMAXPROCS(0), "stratification worker count (1 = sequential; results are identical)")
-		stream       = flag.Bool("stream", false, "use the bounded-memory streaming sampler (single pass, per-kernel reservoirs)")
-		reservoir    = flag.Int("reservoir", 0, "rows retained per kernel in -stream mode (0 = default)")
+		parallelism  = cliflags.Parallelism(flag.CommandLine)
 	)
+	stream, reservoir := cliflags.Stream(flag.CommandLine)
 	flag.Parse()
 	if *characterize {
 		if err := runCharacterize(*workload, *scale, *theta, *arch, *profileIn); err != nil {

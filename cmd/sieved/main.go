@@ -1,0 +1,95 @@
+// Command sieved serves the Sieve sampling pipeline as a long-lived HTTP
+// JSON service: POST a profile CSV (or a catalog workload name) and get a
+// content-hash-addressed sampling plan back, cached so identical requests
+// are computed once. See docs/service.md for the API.
+//
+// Usage:
+//
+//	sieved -addr :8372
+//	curl -fsS -X POST -H 'Content-Type: text/csv' --data-binary @profile.csv \
+//	    'http://localhost:8372/v1/sample?theta=0.4'
+//	curl -fsS -X POST -d '{"workload":"lmc","scale":0.05}' \
+//	    http://localhost:8372/v1/sample
+//
+// The server bounds concurrent sampling runs with a worker-slot semaphore,
+// caps request bodies and per-request compute time, and drains in-flight
+// runs on SIGINT/SIGTERM before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/gpusampling/sieve/internal/cliflags"
+	"github.com/gpusampling/sieve/internal/server"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8372", "listen address")
+		maxConcurrent = flag.Int("max-concurrent", 0, "worker slots: concurrent sampling runs (0 = GOMAXPROCS)")
+		timeout       = flag.Duration("timeout", 60*time.Second, "per-request compute timeout")
+		maxBodyMB     = flag.Int("max-body-mb", 32, "request body size limit in MiB (CSV profiles included)")
+		cacheEntries  = flag.Int("cache", 128, "plan cache capacity (content-hash-addressed LRU entries)")
+		drain         = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window for in-flight runs")
+		parallelism   = cliflags.Parallelism(flag.CommandLine)
+	)
+	flag.Parse()
+	if err := run(*addr, server.Config{
+		MaxConcurrent:  *maxConcurrent,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   int64(*maxBodyMB) << 20,
+		CacheEntries:   *cacheEntries,
+		Parallelism:    *parallelism,
+	}, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "sieved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cfg server.Config, drain time.Duration) error {
+	s := server.New(cfg)
+	s.Metrics().Publish("sieved")
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("sieved listening on %s\n", addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, then let in-flight sampling runs
+	// drain within the window; their request contexts are cancelled when the
+	// window expires, which frees the compute workers promptly.
+	fmt.Println("sieved: draining in-flight runs")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		_ = httpSrv.Close()
+		return fmt.Errorf("drain window expired: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -19,18 +19,18 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 	"sort"
 	"time"
 
 	"github.com/gpusampling/sieve"
+	"github.com/gpusampling/sieve/internal/cliflags"
 )
 
 func main() {
 	var (
 		dir      = flag.String("traces", "traces", "directory of .trace files")
-		archName = flag.String("arch", "ampere", "architecture: ampere, turing, or a JSON arch file")
-		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker count; ≤ 0 = serial")
+		archName = cliflags.Arch(flag.CommandLine)
+		parallel = cliflags.Parallelism(flag.CommandLine, "parallel")
 		pkp      = flag.Bool("pkp", false, "Principal Kernel Projection: stop each trace once IPC converges")
 		multiSM  = flag.Int("multism", 0, "simulate across this many explicit SMs (0 = single-SM mode)")
 		jsonOut  = flag.String("json", "", "also write results as JSON to this file")

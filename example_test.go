@@ -1,8 +1,10 @@
 package sieve_test
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"github.com/gpusampling/sieve"
 )
@@ -86,4 +88,25 @@ func ExampleTierFractions() {
 	// Output:
 	// theta=0.1 tier3=100%
 	// theta=0.5 tier2=100%
+}
+
+// ExampleSampleContext bounds a sampling run with a deadline. The context
+// threads through the stratification worker pool, the k-sweep and the KDE
+// grids, so a cancelled or expired context stops the run between work items
+// and the call returns ctx.Err().
+func ExampleSampleContext() {
+	profile := []sieve.InvocationProfile{
+		{Kernel: "gemm", Index: 0, InstructionCount: 1e6, CTASize: 256},
+		{Kernel: "copy", Index: 1, InstructionCount: 1e4, CTASize: 128},
+		{Kernel: "gemm", Index: 2, InstructionCount: 1e6, CTASize: 256},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	plan, err := sieve.SampleContext(ctx, profile, sieve.Options{})
+	if err != nil {
+		log.Fatal(err) // context.DeadlineExceeded if the budget expired
+	}
+	fmt.Println("strata:", plan.NumStrata())
+	// Output:
+	// strata: 2
 }

@@ -1,0 +1,66 @@
+// Package cliflags centralizes the flag definitions the sieve command-line
+// tools share. cmd/sieve, cmd/experiments, cmd/simulate and cmd/sieved had
+// each re-declared -theta, -parallelism and -seed with drifting defaults and
+// help text (and under drifting names: -workers, -parallel); registering them
+// here gives every tool the same canonical name, default and wording, while
+// legacy names stay usable as aliases bound to the same value.
+package cliflags
+
+import (
+	"flag"
+	"runtime"
+
+	"github.com/gpusampling/sieve/internal/core"
+)
+
+// Canonical help text, shared verbatim by every tool.
+const (
+	thetaHelp       = "Sieve CoV threshold θ separating Tier-2 from Tier-3 (paper default 0.4)"
+	parallelismHelp = "worker count for the parallel sampling pipelines (1 = sequential; results are byte-identical at any value)"
+	seedHelp        = "deterministic RNG seed for PKS clustering and k-means restarts (0 = default)"
+	archHelp        = "hardware model: ampere, turing, or a JSON arch file"
+	streamHelp      = "use the bounded-memory streaming sampler (single pass, per-kernel reservoirs)"
+	reservoirHelp   = "rows retained per kernel in -stream mode (0 = default)"
+)
+
+// Theta registers the canonical -theta flag: the paper's default θ = 0.4.
+func Theta(fs *flag.FlagSet) *float64 {
+	return fs.Float64("theta", core.DefaultTheta, thetaHelp)
+}
+
+// Seed registers the canonical -seed flag.
+func Seed(fs *flag.FlagSet) *int64 {
+	return fs.Int64("seed", 0, seedHelp)
+}
+
+// Parallelism registers the canonical -parallelism flag, defaulting to
+// GOMAXPROCS, plus any legacy alias names bound to the same value (e.g.
+// "workers" in cmd/experiments, "parallel" in cmd/simulate).
+func Parallelism(fs *flag.FlagSet, aliases ...string) *int {
+	def := runtime.GOMAXPROCS(0)
+	p := fs.Int("parallelism", def, parallelismHelp)
+	for _, a := range aliases {
+		fs.IntVar(p, a, def, "alias for -parallelism")
+	}
+	return p
+}
+
+// Scale registers the shared -scale flag with a tool-specific default
+// (cmd/experiments uses 0 to mean "per-experiment default").
+func Scale(fs *flag.FlagSet, def float64) *float64 {
+	help := "workload scale factor in (0, 1]"
+	if def == 0 {
+		help += "; 0 = per-experiment default"
+	}
+	return fs.Float64("scale", def, help)
+}
+
+// Arch registers the shared -arch flag.
+func Arch(fs *flag.FlagSet) *string {
+	return fs.String("arch", "ampere", archHelp)
+}
+
+// Stream registers the shared -stream / -reservoir streaming-mode pair.
+func Stream(fs *flag.FlagSet) (stream *bool, reservoir *int) {
+	return fs.Bool("stream", false, streamHelp), fs.Int("reservoir", 0, reservoirHelp)
+}

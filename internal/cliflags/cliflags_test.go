@@ -1,0 +1,76 @@
+package cliflags
+
+import (
+	"flag"
+	"runtime"
+	"testing"
+)
+
+func newSet() *flag.FlagSet {
+	return flag.NewFlagSet("test", flag.ContinueOnError)
+}
+
+func TestThetaDefault(t *testing.T) {
+	fs := newSet()
+	theta := Theta(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *theta != 0.4 {
+		t.Fatalf("theta default = %g, want the paper's 0.4", *theta)
+	}
+}
+
+func TestParallelismAliasesShareValue(t *testing.T) {
+	fs := newSet()
+	p := Parallelism(fs, "workers", "parallel")
+	if err := fs.Parse([]string{"-workers", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if *p != 3 {
+		t.Fatalf("alias -workers did not set -parallelism: got %d", *p)
+	}
+
+	fs = newSet()
+	p = Parallelism(fs, "workers")
+	if err := fs.Parse([]string{"-parallelism", "2", "-workers", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if *p != 5 {
+		t.Fatalf("last flag should win across alias and canonical name: got %d", *p)
+	}
+
+	fs = newSet()
+	p = Parallelism(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *p != runtime.GOMAXPROCS(0) {
+		t.Fatalf("parallelism default = %d, want GOMAXPROCS = %d", *p, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestScaleHelpMentionsPerExperimentDefault(t *testing.T) {
+	fs := newSet()
+	Scale(fs, 0)
+	f := fs.Lookup("scale")
+	if f == nil {
+		t.Fatal("scale flag not registered")
+	}
+	if f.DefValue != "0" {
+		t.Fatalf("scale default = %s", f.DefValue)
+	}
+}
+
+func TestSharedRegistrars(t *testing.T) {
+	fs := newSet()
+	seed := Seed(fs)
+	arch := Arch(fs)
+	stream, reservoir := Stream(fs)
+	if err := fs.Parse([]string{"-seed", "7", "-arch", "turing", "-stream", "-reservoir", "64"}); err != nil {
+		t.Fatal(err)
+	}
+	if *seed != 7 || *arch != "turing" || !*stream || *reservoir != 64 {
+		t.Fatalf("parsed seed=%d arch=%s stream=%v reservoir=%d", *seed, *arch, *stream, *reservoir)
+	}
+}

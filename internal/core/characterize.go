@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -32,7 +33,13 @@ type KernelSummary struct {
 // Characterize summarizes every kernel of a profile at the given θ
 // (DefaultTheta if zero), ordered by descending instruction share.
 func Characterize(profile []InvocationProfile, theta float64) ([]KernelSummary, error) {
-	res, err := Stratify(profile, Options{Theta: theta})
+	return CharacterizeContext(context.Background(), profile, theta)
+}
+
+// CharacterizeContext is Characterize with cancellation, inherited from the
+// underlying StratifyContext pass.
+func CharacterizeContext(ctx context.Context, profile []InvocationProfile, theta float64) ([]KernelSummary, error) {
+	res, err := StratifyContext(ctx, profile, Options{Theta: theta})
 	if err != nil {
 		return nil, err
 	}

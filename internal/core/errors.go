@@ -1,0 +1,24 @@
+package core
+
+import "errors"
+
+// Sentinel errors shared across the sampling stack. They are wrapped with
+// call-site detail (kernel names, offending values) everywhere they occur, so
+// resolve them with errors.Is rather than equality. The serving layer maps
+// them onto HTTP status codes: an invalid option is the caller's request
+// (400), an empty profile is a well-formed request over unusable data (422),
+// and asking a sampled plan for exact-membership metrics is likewise a
+// semantic conflict (422), never a server fault (500).
+var (
+	// ErrInvalidTheta marks a rejected CoV threshold: explicitly requested
+	// θ = 0 (degenerate — no multi-valued stratum can reach CoV < 0) or a
+	// negative θ.
+	ErrInvalidTheta = errors.New("invalid theta")
+	// ErrEmptyProfile marks a profile with no invocation rows, whether
+	// materialized or streamed.
+	ErrEmptyProfile = errors.New("empty profile")
+	// ErrSampledPlan marks a metric that requires exact stratum membership
+	// (Speedup, WeightedCycleCoV) requested on a sampled streaming plan whose
+	// membership lists cover a bounded reservoir only.
+	ErrSampledPlan = errors.New("sampled streaming plan")
+)

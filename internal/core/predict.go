@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -31,6 +32,14 @@ type Prediction struct {
 // cycle counts: IPC_i = instr(rep_i)/cycles(rep_i), combined as the weighted
 // harmonic mean with the strata's instruction-share weights.
 func (r *Result) Predict(cycles CycleSource) (*Prediction, error) {
+	return r.PredictContext(context.Background(), cycles)
+}
+
+// PredictContext is Predict with cancellation: ctx is checked before each
+// representative's cycle lookup, the step that may run a real simulation or
+// hardware measurement, so a cancelled caller stops paying for cycles it no
+// longer wants and receives ctx.Err().
+func (r *Result) PredictContext(ctx context.Context, cycles CycleSource) (*Prediction, error) {
 	if len(r.Strata) == 0 {
 		return nil, fmt.Errorf("core: no strata to predict from")
 	}
@@ -38,6 +47,9 @@ func (r *Result) Predict(cycles CycleSource) (*Prediction, error) {
 	weights := make([]float64, len(r.Strata))
 	var repTotal float64
 	for i := range r.Strata {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		s := &r.Strata[i]
 		rep, ok := r.byIndex[s.Representative]
 		if !ok {
@@ -118,7 +130,7 @@ func (r *Result) golden(goldenCycles []float64, idx int) (float64, error) {
 // lists are bounded samples, so the numerator would silently undercount.
 func (r *Result) Speedup(goldenCycles []float64) (float64, error) {
 	if r.Sampled {
-		return 0, fmt.Errorf("core: speedup undefined for a sampled streaming plan (stratum membership is partial); re-stratify with a reservoir that fits every kernel")
+		return 0, fmt.Errorf("core: %w: speedup undefined (stratum membership is partial); re-stratify with a reservoir that fits every kernel", ErrSampledPlan)
 	}
 	var total, reps float64
 	for i := range r.Strata {
@@ -149,7 +161,7 @@ func (r *Result) Speedup(goldenCycles []float64) (float64, error) {
 // row, resolved through the plan's index→position mapping.
 func (r *Result) WeightedCycleCoV(goldenCycles []float64) (float64, error) {
 	if r.Sampled {
-		return 0, fmt.Errorf("core: cycle CoV undefined for a sampled streaming plan (stratum membership is partial)")
+		return 0, fmt.Errorf("core: %w: cycle CoV undefined (stratum membership is partial)", ErrSampledPlan)
 	}
 	var num, den float64
 	for i := range r.Strata {

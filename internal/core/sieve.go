@@ -18,10 +18,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/gpusampling/sieve/internal/kde"
 	"github.com/gpusampling/sieve/internal/stats"
@@ -160,12 +162,12 @@ type Options struct {
 func (o Options) withDefaults() (Options, error) {
 	if o.Theta == 0 {
 		if o.ThetaSet {
-			return o, fmt.Errorf("core: theta 0 is degenerate (no multi-invocation stratum can reach CoV < 0); use a positive threshold")
+			return o, fmt.Errorf("core: %w: theta 0 is degenerate (no multi-invocation stratum can reach CoV < 0); use a positive threshold", ErrInvalidTheta)
 		}
 		o.Theta = DefaultTheta
 	}
 	if o.Theta < 0 {
-		return o, fmt.Errorf("core: negative theta %g", o.Theta)
+		return o, fmt.Errorf("core: %w: negative theta %g", ErrInvalidTheta, o.Theta)
 	}
 	switch o.Selection {
 	case SelectDominantCTAFirst, SelectFirstChronological, SelectMaxCTA:
@@ -235,12 +237,23 @@ type Result struct {
 // Stratify groups the profiled invocations into strata per Section III-B and
 // selects a weighted representative per stratum per Section III-C.
 func Stratify(profile []InvocationProfile, opts Options) (*Result, error) {
+	return StratifyContext(context.Background(), profile, opts)
+}
+
+// StratifyContext is Stratify with cancellation: the per-kernel worker pool
+// checks ctx between kernels, so a cancelled or timed-out context stops the
+// stratification promptly — partially processed kernels are discarded and the
+// workers return to the runtime — and the call reports ctx.Err().
+func StratifyContext(ctx context.Context, profile []InvocationProfile, opts Options) (*Result, error) {
 	opts, err := opts.withDefaults()
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(profile) == 0 {
-		return nil, fmt.Errorf("core: empty profile")
+		return nil, fmt.Errorf("core: %w", ErrEmptyProfile)
 	}
 	byIndex := make(map[int]*InvocationProfile, len(profile))
 	posByIndex := make(map[int]int, len(profile))
@@ -297,21 +310,35 @@ func Stratify(profile []InvocationProfile, opts Options) (*Result, error) {
 	}
 	if workers := min(opts.Parallelism, len(kernelOrder)); workers <= 1 {
 		for i := range kernelOrder {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			process(i)
 		}
 	} else {
+		// Workers pull kernel indices from a shared counter and check ctx
+		// before each pull, so cancellation is observed between work items:
+		// in-progress kernels finish, queued ones are never started, and every
+		// worker slot is released by the time the call returns.
 		var wg sync.WaitGroup
-		sem := make(chan struct{}, workers)
-		for i := range kernelOrder {
+		var next atomic.Int64
+		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(i int) {
+			go func() {
 				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				process(i)
-			}(i)
+				for ctx.Err() == nil {
+					i := int(next.Add(1)) - 1
+					if i >= len(kernelOrder) {
+						return
+					}
+					process(i)
+				}
+			}()
 		}
 		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	res := &Result{Theta: opts.Theta, byIndex: byIndex, posByIndex: posByIndex}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -27,6 +28,18 @@ type StreamOptions struct {
 	BatchSize int
 }
 
+// streamOptions is the single conversion point between the sampling options
+// and the ingestion layer's knobs; parallelism comes from the embedded
+// Options after defaulting so the two layers can never disagree.
+func (o StreamOptions) streamOptions(parallelism int) stream.Options {
+	return stream.Options{
+		ReservoirSize: o.ReservoirSize,
+		Seed:          o.Seed,
+		Parallelism:   parallelism,
+		BatchSize:     o.BatchSize,
+	}
+}
+
 // RowSource yields the next profile row, or io.EOF after the last one. Rows
 // must arrive in strictly ascending global Index order (the natural order of
 // a chronological profile log), which is how the single pass detects
@@ -47,11 +60,20 @@ type RowSource func() (InvocationProfile, error)
 //     splitting runs on the reservoir sample, stratum membership lists are
 //     partial, and the plan is marked Sampled.
 func StratifyStream(next RowSource, opts StreamOptions) (*Result, error) {
+	return StratifyStreamContext(context.Background(), next, opts)
+}
+
+// StratifyStreamContext is StratifyStream with cancellation: the ingestion
+// pass checks ctx between dispatch batches and the per-kernel stratification
+// loop checks it between kernels, so a cancelled or timed-out context stops
+// the single pass mid-stream, drains the ingestion shards, and reports
+// ctx.Err().
+func StratifyStreamContext(ctx context.Context, next RowSource, opts StreamOptions) (*Result, error) {
 	o, err := opts.Options.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	digest, err := stream.Ingest(func() (stream.Row, error) {
+	digest, err := stream.IngestContext(ctx, func() (stream.Row, error) {
 		p, err := next()
 		if err != nil {
 			return stream.Row{}, err
@@ -62,17 +84,12 @@ func StratifyStream(next RowSource, opts StreamOptions) (*Result, error) {
 			InstructionCount: p.InstructionCount,
 			CTASize:          p.CTASize,
 		}, nil
-	}, stream.Options{
-		ReservoirSize: opts.ReservoirSize,
-		Seed:          opts.Seed,
-		Parallelism:   o.Parallelism,
-		BatchSize:     opts.BatchSize,
-	})
+	}, opts.streamOptions(o.Parallelism))
 	if err != nil {
 		return nil, err
 	}
 	if digest.Rows == 0 {
-		return nil, fmt.Errorf("core: empty profile")
+		return nil, fmt.Errorf("core: %w", ErrEmptyProfile)
 	}
 
 	res := &Result{
@@ -81,6 +98,9 @@ func StratifyStream(next RowSource, opts StreamOptions) (*Result, error) {
 		posByIndex: make(map[int]int),
 	}
 	for _, kd := range digest.Kernels {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var strata []Stratum
 		var tier Tier
 		if kd.Complete() {

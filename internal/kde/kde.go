@@ -6,11 +6,13 @@
 package kde
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Estimator is a fitted 1-D Gaussian kernel density estimator.
@@ -83,7 +85,12 @@ func (e *Estimator) Density(x float64) float64 {
 // endpoints only ever move forward, dropping the bookkeeping cost from
 // O(g·log n) to O(g + n) for g grid points over n samples.
 func (e *Estimator) Grid(n int) (xs, ds []float64, err error) {
-	return e.GridParallel(n, 1)
+	return e.GridParallelContext(context.Background(), n, 1)
+}
+
+// GridContext is Grid with cancellation, checked between evaluation chunks.
+func (e *Estimator) GridContext(ctx context.Context, n int) (xs, ds []float64, err error) {
+	return e.GridParallelContext(ctx, n, 1)
 }
 
 // gridChunkPoints is the smallest grid chunk worth dispatching to its own
@@ -95,11 +102,25 @@ const gridChunkPoints = 256
 // contiguous ascending run of grid points, so results are byte-identical to
 // the sequential evaluation regardless of worker count.
 func (e *Estimator) GridParallel(n, workers int) (xs, ds []float64, err error) {
+	return e.GridParallelContext(context.Background(), n, workers)
+}
+
+// GridParallelContext is GridParallel with cancellation: grid points are
+// evaluated in fixed-size chunks and ctx is checked between chunks — by each
+// worker before it claims the next chunk, and by the sequential path between
+// chunks — so a cancelled or timed-out context abandons the remaining grid
+// and reports ctx.Err(). Chunks are claimed from a shared counter but each
+// writes its own fixed slice region, so the densities are byte-identical to
+// the sequential evaluation at any worker count.
+func (e *Estimator) GridParallelContext(ctx context.Context, n, workers int) (xs, ds []float64, err error) {
 	if n < 2 {
 		return nil, nil, fmt.Errorf("kde: grid needs at least 2 points, got %d", n)
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
 	}
 	lo := e.samples[0] - 3*e.bandwidth
 	hi := e.samples[len(e.samples)-1] + 3*e.bandwidth
@@ -109,27 +130,41 @@ func (e *Estimator) GridParallel(n, workers int) (xs, ds []float64, err error) {
 	for i := range xs {
 		xs[i] = lo + float64(i)*step
 	}
-	if maxChunks := (n + gridChunkPoints - 1) / gridChunkPoints; workers > maxChunks {
-		workers = maxChunks
+	chunks := (n + gridChunkPoints - 1) / gridChunkPoints
+	if workers > chunks {
+		workers = chunks
 	}
 	if workers <= 1 {
-		e.gridEval(xs, ds)
+		for start := 0; start < n; start += gridChunkPoints {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+			end := min(start+gridChunkPoints, n)
+			e.gridEval(xs[start:end], ds[start:end])
+		}
 		return xs, ds, nil
 	}
 	var wg sync.WaitGroup
-	per := (n + workers - 1) / workers
-	for start := 0; start < n; start += per {
-		end := start + per
-		if end > n {
-			end = n
-		}
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(a, b int) {
+		go func() {
 			defer wg.Done()
-			e.gridEval(xs[a:b], ds[a:b])
-		}(start, end)
+			for ctx.Err() == nil {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				start := c * gridChunkPoints
+				end := min(start+gridChunkPoints, n)
+				e.gridEval(xs[start:end], ds[start:end])
+			}
+		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	return xs, ds, nil
 }
 

@@ -14,11 +14,13 @@
 package pks
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/gpusampling/sieve/internal/cluster"
 	"github.com/gpusampling/sieve/internal/mat"
@@ -205,8 +207,19 @@ type Result struct {
 // measured cycle count on the reference hardware, required by PKS's
 // k-selection step.
 func Select(features [][]float64, goldenCycles []float64, opts Options) (*Result, error) {
+	return SelectContext(context.Background(), features, goldenCycles, opts)
+}
+
+// SelectContext is Select with cancellation: the k = 1..MaxK sweep checks ctx
+// between candidate clusterings, so a cancelled or timed-out context stops
+// the sweep — already-running candidates finish, queued ones never start, the
+// worker pool drains — and the call reports ctx.Err().
+func SelectContext(ctx context.Context, features [][]float64, goldenCycles []float64, opts Options) (*Result, error) {
 	opts, err := opts.withDefaults()
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if len(features) == 0 {
@@ -282,21 +295,34 @@ func Select(features [][]float64, goldenCycles []float64, opts Options) (*Result
 	}
 	if workers <= 1 {
 		for k := 1; k <= maxK; k++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			runK(k)
 		}
 	} else {
+		// Workers pull candidate k values from a shared counter and check ctx
+		// before each pull; every candidate writes to its own slot, so the
+		// assembled sweep is byte-identical to the sequential one.
 		var wg sync.WaitGroup
-		sem := make(chan struct{}, workers)
-		for k := 1; k <= maxK; k++ {
+		var nextK atomic.Int64
+		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(k int) {
+			go func() {
 				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				runK(k)
-			}(k)
+				for ctx.Err() == nil {
+					k := int(nextK.Add(1))
+					if k > maxK {
+						return
+					}
+					runK(k)
+				}
+			}()
 		}
 		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	for k := 1; k <= maxK; k++ {
 		if failures[k] != nil {

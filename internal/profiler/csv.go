@@ -6,6 +6,7 @@ import (
 	"io"
 	"strconv"
 
+	"github.com/gpusampling/sieve/internal/core"
 	"github.com/gpusampling/sieve/internal/cudamodel"
 )
 
@@ -208,7 +209,9 @@ func ReadCSV(r io.Reader) (*Profile, error) {
 	}
 	p.Collected = collected
 	if len(p.Records) == 0 {
-		return nil, fmt.Errorf("profiler: CSV contains no records")
+		// Wraps the sentinel so callers (and the sieved status mapping) can
+		// distinguish "well-formed but empty" from malformed CSV.
+		return nil, fmt.Errorf("profiler: CSV contains no records: %w", core.ErrEmptyProfile)
 	}
 	return p, nil
 }

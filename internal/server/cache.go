@@ -1,0 +1,64 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// planCache is a content-hash-addressed LRU of marshaled plan documents.
+// Keys are the canonical request hash (profile source + resolved options), so
+// identical requests are computed once and every hit returns byte-identical
+// plan JSON. Values are immutable byte slices shared with responders; they
+// must not be mutated.
+type planCache struct {
+	mu   sync.Mutex
+	max  int
+	ll   *list.List // front = most recently used
+	byID map[string]*list.Element
+}
+
+type cacheEntry struct {
+	id   string
+	body []byte
+}
+
+func newPlanCache(max int) *planCache {
+	return &planCache{max: max, ll: list.New(), byID: make(map[string]*list.Element)}
+}
+
+// get returns the cached document and marks it most recently used.
+func (c *planCache) get(id string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byID[id]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put inserts (or refreshes) a document, evicting the least recently used
+// entry beyond capacity.
+func (c *planCache) put(id string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byID[id]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).body = body
+		return
+	}
+	c.byID[id] = c.ll.PushFront(&cacheEntry{id: id, body: body})
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.byID, last.Value.(*cacheEntry).id)
+	}
+}
+
+// len reports the current entry count.
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow is the number of recent request latencies retained for the
+// p50/p99 estimates: a fixed ring, so the quantiles track current behaviour
+// and the memory cost is constant.
+const latencyWindow = 512
+
+// metrics holds the server's expvar counters. The vars are kept off the
+// global expvar namespace so several servers can coexist in one process
+// (every httptest server would otherwise collide on Publish); cmd/sieved
+// additionally publishes them globally under the "sieved" name.
+type metrics struct {
+	Requests     expvar.Int // sampling/characterization requests accepted
+	Failures     expvar.Int // requests answered with a 4xx/5xx
+	CacheHits    expvar.Int // plans served from the content-hash cache
+	CacheMisses  expvar.Int // plans that had to be computed
+	InFlight     expvar.Int // requests currently holding a worker slot
+	Rejected     expvar.Int // requests that gave up waiting for a slot
+	RowsIngested expvar.Int // profile rows ingested across all requests
+
+	mu        sync.Mutex
+	latencies [latencyWindow]time.Duration
+	at        int
+	n         int
+}
+
+// observeLatency records one completed request's wall time in the ring.
+func (m *metrics) observeLatency(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.latencies[m.at] = d
+	m.at = (m.at + 1) % latencyWindow
+	if m.n < latencyWindow {
+		m.n++
+	}
+}
+
+// quantiles returns the p50 and p99 of the retained latencies, in
+// milliseconds (0, 0 before the first request).
+func (m *metrics) quantiles() (p50, p99 float64) {
+	m.mu.Lock()
+	snap := make([]time.Duration, m.n)
+	copy(snap, m.latencies[:m.n])
+	m.mu.Unlock()
+	if len(snap) == 0 {
+		return 0, 0
+	}
+	sort.Slice(snap, func(i, j int) bool { return snap[i] < snap[j] })
+	q := func(p float64) float64 {
+		i := int(p * float64(len(snap)-1))
+		return float64(snap[i]) / float64(time.Millisecond)
+	}
+	return q(0.50), q(0.99)
+}
+
+// handler serves the /debug/metrics snapshot. expvar.Int values render as
+// JSON numbers via String(), so the document is assembled directly.
+func (m *metrics) handler(cacheLen func() int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		p50, p99 := m.quantiles()
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"requests":%s,"failures":%s,"cache_hits":%s,"cache_misses":%s,"cache_entries":%d,"in_flight":%s,"rejected":%s,"rows_ingested":%s,"latency_ms":{"p50":%g,"p99":%g}}`+"\n",
+			m.Requests.String(), m.Failures.String(),
+			m.CacheHits.String(), m.CacheMisses.String(), cacheLen(),
+			m.InFlight.String(), m.Rejected.String(), m.RowsIngested.String(),
+			p50, p99)
+	}
+}
+
+// Publish registers the counters on the global expvar namespace under
+// name.* so the standard /debug/vars endpoint exposes them too. Call at most
+// once per process (expvar panics on duplicate names).
+func (m *metrics) Publish(name string) {
+	expvar.Publish(name+".requests", &m.Requests)
+	expvar.Publish(name+".failures", &m.Failures)
+	expvar.Publish(name+".cache_hits", &m.CacheHits)
+	expvar.Publish(name+".cache_misses", &m.CacheMisses)
+	expvar.Publish(name+".in_flight", &m.InFlight)
+	expvar.Publish(name+".rejected", &m.Rejected)
+	expvar.Publish(name+".rows_ingested", &m.RowsIngested)
+}

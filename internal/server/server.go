@@ -1,0 +1,592 @@
+// Package server implements sieved, a long-lived HTTP JSON service that
+// hosts the Sieve sampling pipeline as a shared backend: many concurrent
+// "give me a sampling plan for this profile" requests over one process, the
+// way PKA-style profiling infrastructure is consumed.
+//
+// Endpoints:
+//
+//	POST /v1/sample        profile CSV (text/csv) or JSON envelope → sampling plan
+//	POST /v1/characterize  same input → per-kernel workload characterization
+//	GET  /v1/plans/{id}    content-hash-addressed plan lookup
+//	GET  /healthz          liveness
+//	GET  /debug/metrics    expvar counters + latency quantiles
+//
+// Every sampling run is bounded three ways: a worker-slot semaphore caps
+// concurrent compute, a per-request timeout caps each run's wall time, and
+// http.MaxBytesReader caps request bodies. Requests execute under the
+// client's context — a disconnected or timed-out client cancels its
+// stratification workers (SampleContext observes ctx between kernels)
+// instead of pinning GOMAXPROCS goroutines. Plans are cached in a
+// content-hash-addressed LRU keyed by (profile source, resolved options), so
+// identical requests are computed once and cache hits return byte-identical
+// plan JSON.
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"net/url"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/gpusampling/sieve"
+)
+
+// Config bounds the service. The zero value serves with sane defaults.
+type Config struct {
+	// MaxConcurrent is the worker-slot count: at most this many sampling or
+	// characterization runs compute at once (GOMAXPROCS if zero). Further
+	// requests wait for a slot until their context expires.
+	MaxConcurrent int
+	// RequestTimeout caps one run's compute wall time (60s if zero).
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies, CSV profiles included (32 MiB if
+	// zero).
+	MaxBodyBytes int64
+	// CacheEntries bounds the plan LRU (128 if zero).
+	CacheEntries int
+	// Parallelism is the per-request sampling worker default when the
+	// request does not choose its own (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 128
+	}
+	return c
+}
+
+// Server hosts the sampling pipeline behind an http.Handler.
+type Server struct {
+	cfg     Config
+	slots   chan struct{}
+	cache   *planCache
+	metrics metrics
+	mux     *http.ServeMux
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		slots: make(chan struct{}, cfg.MaxConcurrent),
+		cache: newPlanCache(cfg.CacheEntries),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/sample", s.handleSample)
+	s.mux.HandleFunc("POST /v1/characterize", s.handleCharacterize)
+	s.mux.HandleFunc("GET /v1/plans/{id}", s.handlePlanGet)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.mux.HandleFunc("GET /debug/metrics", s.metrics.handler(s.cache.len))
+	return s
+}
+
+// Handler returns the routed handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the counters, e.g. for global expvar publication.
+func (s *Server) Metrics() *metrics { return &s.metrics }
+
+// RequestOptions is the wire form of the sampling knobs. Zero values select
+// the paper defaults, mirroring sieve.Options.
+type RequestOptions struct {
+	// Theta is the CoV threshold θ (0 = paper default 0.4; negative is a 400).
+	Theta float64 `json:"theta,omitempty"`
+	// Selection is dominant-cta-first (default), first-chronological or
+	// max-cta.
+	Selection string `json:"selection,omitempty"`
+	// Splitter is kde (default), equal-width or gmm.
+	Splitter string `json:"splitter,omitempty"`
+	// Parallelism is the per-request sampling worker count, capped by the
+	// server's configured default.
+	Parallelism int `json:"parallelism,omitempty"`
+	// Stream selects the bounded-memory streaming sampler.
+	Stream bool `json:"stream,omitempty"`
+	// ReservoirSize bounds rows retained per kernel in stream mode.
+	ReservoirSize int `json:"reservoir_size,omitempty"`
+	// Seed seeds the streaming reservoir priority hash.
+	Seed uint64 `json:"seed,omitempty"`
+	// Arch picks the hardware model for workload-mode profiling (ampere
+	// default, turing).
+	Arch string `json:"arch,omitempty"`
+}
+
+// SampleRequest is the JSON envelope accepted by /v1/sample and
+// /v1/characterize. Exactly one of ProfileCSV and Workload must be set.
+type SampleRequest struct {
+	// ProfileCSV is an inline profile table in the WriteProfileCSV format.
+	ProfileCSV string `json:"profile_csv,omitempty"`
+	// Workload is a Table I catalog workload name to generate and profile
+	// server-side, scaled by Scale (0 = 0.05).
+	Workload string  `json:"workload,omitempty"`
+	Scale    float64 `json:"scale,omitempty"`
+	// Options carries the sampling knobs.
+	Options RequestOptions `json:"options"`
+}
+
+// badRequest marks an error as caller-caused (HTTP 400).
+type badRequest struct{ err error }
+
+func (b badRequest) Error() string { return b.err.Error() }
+func (b badRequest) Unwrap() error { return b.err }
+
+// statusFor maps an error onto the HTTP status the API contract promises:
+// oversized bodies 413, caller mistakes 400, well-formed but unusable
+// profiles 422, expired deadlines 504, client-abandoned work 499 (nginx's
+// convention), anything else 500.
+func statusFor(err error) int {
+	var tooBig *http.MaxBytesError
+	var caller badRequest
+	switch {
+	case errors.As(err, &tooBig):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, sieve.ErrEmptyProfile), errors.Is(err, sieve.ErrSampledPlan):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, sieve.ErrInvalidTheta):
+		return http.StatusBadRequest
+	case errors.As(err, &caller):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	s.metrics.Failures.Add(1)
+	writeJSON(w, statusFor(err), map[string]string{"error": err.Error()})
+}
+
+// decodeRequest reads the bounded body and normalizes both accepted shapes —
+// raw CSV with query-parameter options, or the JSON envelope — into a
+// SampleRequest.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*SampleRequest, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		return nil, err
+	}
+	ct := r.Header.Get("Content-Type")
+	if mt, _, err := mime.ParseMediaType(ct); err == nil {
+		ct = mt
+	}
+	if ct == "text/csv" || ct == "application/csv" {
+		req := &SampleRequest{ProfileCSV: string(body)}
+		if err := optionsFromQuery(r.URL.Query(), &req.Options); err != nil {
+			return nil, badRequest{err}
+		}
+		return req, nil
+	}
+	req := &SampleRequest{}
+	if err := json.Unmarshal(body, req); err != nil {
+		return nil, badRequest{fmt.Errorf("decode request: %w", err)}
+	}
+	return req, nil
+}
+
+// optionsFromQuery parses ?theta=&selection=&splitter=&parallelism=&stream=
+// &reservoir_size=&seed=&arch= for the raw-CSV request shape.
+func optionsFromQuery(q url.Values, o *RequestOptions) error {
+	var err error
+	get := func(key string, parse func(string) error) {
+		if err != nil {
+			return
+		}
+		if v := q.Get(key); v != "" {
+			if perr := parse(v); perr != nil {
+				err = fmt.Errorf("query %s=%q: %w", key, v, perr)
+			}
+		}
+	}
+	get("theta", func(v string) error { f, e := strconv.ParseFloat(v, 64); o.Theta = f; return e })
+	get("parallelism", func(v string) error { n, e := strconv.Atoi(v); o.Parallelism = n; return e })
+	get("reservoir_size", func(v string) error { n, e := strconv.Atoi(v); o.ReservoirSize = n; return e })
+	get("seed", func(v string) error { n, e := strconv.ParseUint(v, 10, 64); o.Seed = n; return e })
+	get("stream", func(v string) error { b, e := strconv.ParseBool(v); o.Stream = b; return e })
+	o.Selection = q.Get("selection")
+	o.Splitter = q.Get("splitter")
+	o.Arch = q.Get("arch")
+	return err
+}
+
+// resolved is a fully-validated request: concrete sieve options plus the
+// profile source, ready to hash and run.
+type resolved struct {
+	req    *SampleRequest
+	opts   sieve.Options
+	stream sieve.StreamOptions
+	arch   string
+}
+
+// resolve validates the request and turns the wire options into sieve
+// options. Validation failures are badRequest (400).
+func (s *Server) resolve(req *SampleRequest) (*resolved, error) {
+	if (req.ProfileCSV == "") == (req.Workload == "") {
+		return nil, badRequest{errors.New("exactly one of profile_csv (or a text/csv body) and workload must be given")}
+	}
+	o := sieve.Options{Theta: req.Options.Theta}
+	switch req.Options.Selection {
+	case "", "dominant-cta-first":
+		o.Selection = sieve.SelectDominantCTAFirst
+	case "first-chronological":
+		o.Selection = sieve.SelectFirstChronological
+	case "max-cta":
+		o.Selection = sieve.SelectMaxCTA
+	default:
+		return nil, badRequest{fmt.Errorf("unknown selection policy %q", req.Options.Selection)}
+	}
+	switch req.Options.Splitter {
+	case "", "kde":
+		o.Tier3Splitter = sieve.SplitKDE
+	case "equal-width":
+		o.Tier3Splitter = sieve.SplitEqualWidth
+	case "gmm":
+		o.Tier3Splitter = sieve.SplitGMM
+	default:
+		return nil, badRequest{fmt.Errorf("unknown splitter %q", req.Options.Splitter)}
+	}
+	// The server owns its worker budget: a request may lower its
+	// parallelism but not exceed the configured per-request default.
+	limit := s.cfg.Parallelism
+	if limit <= 0 {
+		limit = runtime.GOMAXPROCS(0)
+	}
+	o.Parallelism = limit
+	if p := req.Options.Parallelism; p > 0 && p < limit {
+		o.Parallelism = p
+	}
+	if req.Options.ReservoirSize < 0 {
+		return nil, badRequest{fmt.Errorf("negative reservoir_size %d", req.Options.ReservoirSize)}
+	}
+	arch := req.Options.Arch
+	if arch == "" {
+		arch = "ampere"
+	}
+	if req.Workload != "" {
+		if _, err := sieve.WorkloadByName(req.Workload); err != nil {
+			return nil, badRequest{err}
+		}
+		if req.Scale == 0 {
+			req.Scale = 0.05
+		}
+		if req.Scale < 0 || req.Scale > 1 {
+			return nil, badRequest{fmt.Errorf("scale %g outside (0, 1]", req.Scale)}
+		}
+	}
+	return &resolved{
+		req:  req,
+		opts: o,
+		stream: sieve.StreamOptions{
+			Options:       o,
+			ReservoirSize: req.Options.ReservoirSize,
+			Seed:          req.Options.Seed,
+		},
+		arch: arch,
+	}, nil
+}
+
+// key returns the content hash addressing this request's plan: every
+// resolved option plus the profile source. Identical profile+options pairs
+// collapse onto one cache entry.
+func (rv *resolved) key(kind string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|theta=%g|sel=%d|split=%d|par=%d|stream=%v|res=%d|seed=%d|arch=%s|",
+		kind, rv.opts.Theta, rv.opts.Selection, rv.opts.Tier3Splitter, rv.opts.Parallelism,
+		rv.req.Options.Stream, rv.stream.ReservoirSize, rv.stream.Seed, rv.arch)
+	if rv.req.ProfileCSV != "" {
+		io.WriteString(h, "csv|")
+		io.WriteString(h, rv.req.ProfileCSV)
+	} else {
+		fmt.Fprintf(h, "workload|%s|%g", rv.req.Workload, rv.req.Scale)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// acquireSlot claims a compute worker slot, waiting until the request's
+// context expires. The returned release must be called when compute ends.
+func (s *Server) acquireSlot(ctx context.Context) (release func(), err error) {
+	select {
+	case s.slots <- struct{}{}:
+		s.metrics.InFlight.Add(1)
+		return func() {
+			<-s.slots
+			s.metrics.InFlight.Add(-1)
+		}, nil
+	case <-ctx.Done():
+		s.metrics.Rejected.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+// rows materializes the request's profile rows. CSV-sourced failures are the
+// caller's data (400); workload generation happens server-side, so only an
+// unknown name (caught in resolve) is the caller's fault.
+func (rv *resolved) rows(ctx context.Context) ([]sieve.InvocationProfile, error) {
+	if rv.req.ProfileCSV != "" {
+		p, err := sieve.ReadProfileCSV(strings.NewReader(rv.req.ProfileCSV))
+		if err != nil {
+			return nil, badRequest{err}
+		}
+		return sieve.ProfileRows(p), nil
+	}
+	return rv.workloadRows(ctx)
+}
+
+func (rv *resolved) workloadRows(ctx context.Context) ([]sieve.InvocationProfile, error) {
+	w, err := sieve.GenerateWorkload(rv.req.Workload, rv.req.Scale)
+	if err != nil {
+		return nil, badRequest{err}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	archCfg, err := sieve.ResolveArch(rv.arch)
+	if err != nil {
+		return nil, badRequest{err}
+	}
+	hw, err := sieve.NewHardware(archCfg)
+	if err != nil {
+		return nil, err
+	}
+	p, err := sieve.ProfileInstructionCounts(w, hw)
+	if err != nil {
+		return nil, err
+	}
+	return sieve.ProfileRows(p), nil
+}
+
+// samplePlan runs the sampling pipeline for the resolved request.
+func (rv *resolved) samplePlan(ctx context.Context) (*sieve.Plan, error) {
+	if rv.req.Options.Stream && rv.req.ProfileCSV != "" {
+		plan, err := sieve.SampleCSVContext(ctx, strings.NewReader(rv.req.ProfileCSV), rv.stream)
+		if err != nil && statusFor(err) == http.StatusInternalServerError {
+			// Anything a well-formed CSV cannot produce is the caller's CSV.
+			err = badRequest{err}
+		}
+		return plan, err
+	}
+	rows, err := rv.rows(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if rv.req.Options.Stream {
+		return sieve.SampleStreamContext(ctx, sieve.SliceSource(rows), rv.stream)
+	}
+	plan, err := sieve.SampleContext(ctx, rows, rv.opts)
+	if err != nil && rv.req.ProfileCSV != "" && statusFor(err) == http.StatusInternalServerError {
+		// Row-validation failures (non-positive counts, duplicate indices)
+		// on caller-supplied CSV are caller data errors.
+		err = badRequest{err}
+	}
+	return plan, err
+}
+
+// stratumJSON is the wire form of one stratum.
+type stratumJSON struct {
+	Kernel         string  `json:"kernel"`
+	Tier           int     `json:"tier"`
+	Members        int     `json:"members"`
+	Invocations    []int   `json:"invocations"`
+	Representative int     `json:"representative"`
+	Weight         float64 `json:"weight"`
+	InstructionSum float64 `json:"instruction_sum"`
+}
+
+// planJSON is the wire form of a sampling plan.
+type planJSON struct {
+	Theta             float64       `json:"theta"`
+	TotalInstructions float64       `json:"total_instructions"`
+	TierInvocations   [3]int        `json:"tier_invocations"`
+	Sampled           bool          `json:"sampled"`
+	NumStrata         int           `json:"num_strata"`
+	Representatives   []int         `json:"representatives"`
+	Strata            []stratumJSON `json:"strata"`
+}
+
+func marshalPlan(p *sieve.Plan) ([]byte, error) {
+	out := planJSON{
+		Theta:             p.Theta,
+		TotalInstructions: p.TotalInstructions,
+		TierInvocations:   p.TierInvocations,
+		Sampled:           p.Sampled,
+		NumStrata:         p.NumStrata(),
+		Representatives:   p.RepresentativeIndices(),
+		Strata:            make([]stratumJSON, len(p.Strata)),
+	}
+	for i, s := range p.Strata {
+		out.Strata[i] = stratumJSON{
+			Kernel:         s.Kernel,
+			Tier:           int(s.Tier),
+			Members:        len(s.Invocations),
+			Invocations:    s.Invocations,
+			Representative: s.Representative,
+			Weight:         s.Weight,
+			InstructionSum: s.InstructionSum,
+		}
+	}
+	return json.Marshal(out)
+}
+
+// respondDocument writes the {plan_id, cached, plan} envelope around an
+// already-marshaled document.
+func respondDocument(w http.ResponseWriter, id string, cached bool, doc []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, `{"plan_id":%q,"cached":%v,"plan":`, id, cached)
+	buf.Write(doc)
+	buf.WriteString("}\n")
+	_, _ = w.Write(buf.Bytes())
+}
+
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.metrics.Requests.Add(1)
+	req, err := s.decodeRequest(w, r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	rv, err := s.resolve(req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	id := rv.key("sample")
+	if doc, ok := s.cache.get(id); ok {
+		s.metrics.CacheHits.Add(1)
+		respondDocument(w, id, true, doc)
+		s.metrics.observeLatency(time.Since(start))
+		return
+	}
+	s.metrics.CacheMisses.Add(1)
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	release, err := s.acquireSlot(ctx)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	plan, err := rv.samplePlan(ctx)
+	release()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	doc, err := marshalPlan(plan)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.metrics.RowsIngested.Add(int64(plan.TierInvocations[0] + plan.TierInvocations[1] + plan.TierInvocations[2]))
+	s.cache.put(id, doc)
+	respondDocument(w, id, false, doc)
+	s.metrics.observeLatency(time.Since(start))
+}
+
+// kernelSummaryJSON is the wire form of one kernel characterization row.
+type kernelSummaryJSON struct {
+	Kernel      string  `json:"kernel"`
+	Invocations int     `json:"invocations"`
+	Tier        int     `json:"tier"`
+	InstrMin    float64 `json:"instr_min"`
+	InstrMean   float64 `json:"instr_mean"`
+	InstrMax    float64 `json:"instr_max"`
+	InstrCoV    float64 `json:"instr_cov"`
+	InstrShare  float64 `json:"instr_share"`
+	DominantCTA int     `json:"dominant_cta"`
+	Strata      int     `json:"strata"`
+}
+
+func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.metrics.Requests.Add(1)
+	req, err := s.decodeRequest(w, r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	rv, err := s.resolve(req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	release, err := s.acquireSlot(ctx)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer release()
+	rows, err := rv.rows(ctx)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	sums, err := sieve.CharacterizeContext(ctx, rows, rv.opts.Theta)
+	if err != nil {
+		if rv.req.ProfileCSV != "" && statusFor(err) == http.StatusInternalServerError {
+			err = badRequest{err}
+		}
+		s.writeError(w, err)
+		return
+	}
+	s.metrics.RowsIngested.Add(int64(len(rows)))
+	out := make([]kernelSummaryJSON, len(sums))
+	for i, k := range sums {
+		out[i] = kernelSummaryJSON{
+			Kernel: k.Kernel, Invocations: k.Invocations, Tier: int(k.Tier),
+			InstrMin: k.InstrMin, InstrMean: k.InstrMean, InstrMax: k.InstrMax,
+			InstrCoV: k.InstrCoV, InstrShare: k.InstrShare,
+			DominantCTA: k.DominantCTA, Strata: k.Strata,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"kernels": out})
+	s.metrics.observeLatency(time.Since(start))
+}
+
+func (s *Server) handlePlanGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	doc, ok := s.cache.get(id)
+	if !ok {
+		s.metrics.Failures.Add(1)
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "plan not cached (recompute via POST /v1/sample)"})
+		return
+	}
+	s.metrics.CacheHits.Add(1)
+	respondDocument(w, id, true, doc)
+}

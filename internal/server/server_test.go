@@ -1,0 +1,395 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testCSV renders a small bimodal profile in the WriteProfileCSV wire
+// format: 4 kernels × 24 invocations, enough for Tier-3 KDE splitting.
+func testCSV() string {
+	var b strings.Builder
+	b.WriteString("kernel,index,seq,cta_size,instruction_count\n")
+	idx := 0
+	for k := 0; k < 4; k++ {
+		for i := 0; i < 24; i++ {
+			count := 1.0e6 + float64(i)*1e4
+			if i%2 == 1 {
+				count *= 30
+			}
+			fmt.Fprintf(&b, "kern_%d,%d,%d,%d,%g\n", k, idx, idx, 128+32*(i%2), count)
+			idx++
+		}
+	}
+	return b.String()
+}
+
+func newTestServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(cfg).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// sampleEnvelope is the response wrapper around a plan document.
+type sampleEnvelope struct {
+	PlanID string          `json:"plan_id"`
+	Cached bool            `json:"cached"`
+	Plan   json.RawMessage `json:"plan"`
+}
+
+func postCSV(t *testing.T, url, csv string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "text/csv", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+// metricsDoc mirrors the /debug/metrics JSON.
+type metricsDoc struct {
+	Requests     int64 `json:"requests"`
+	Failures     int64 `json:"failures"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	CacheEntries int   `json:"cache_entries"`
+	InFlight     int64 `json:"in_flight"`
+	Rejected     int64 `json:"rejected"`
+	RowsIngested int64 `json:"rows_ingested"`
+	LatencyMS    struct {
+		P50 float64 `json:"p50"`
+		P99 float64 `json:"p99"`
+	} `json:"latency_ms"`
+}
+
+// TestSampleCacheHitMiss is the acceptance check: POSTing the same
+// profile+options twice must compute once, report the second response as a
+// cache hit via /debug/metrics, and return byte-identical plan JSON.
+func TestSampleCacheHitMiss(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	csv := testCSV()
+
+	status, body1 := postCSV(t, ts.URL+"/v1/sample?theta=0.4", csv)
+	if status != http.StatusOK {
+		t.Fatalf("first POST status = %d, body %s", status, body1)
+	}
+	var env1 sampleEnvelope
+	if err := json.Unmarshal(body1, &env1); err != nil {
+		t.Fatal(err)
+	}
+	if env1.Cached {
+		t.Fatal("first response claims cached=true")
+	}
+	if env1.PlanID == "" {
+		t.Fatal("missing plan_id")
+	}
+
+	status, body2 := postCSV(t, ts.URL+"/v1/sample?theta=0.4", csv)
+	if status != http.StatusOK {
+		t.Fatalf("second POST status = %d, body %s", status, body2)
+	}
+	var env2 sampleEnvelope
+	if err := json.Unmarshal(body2, &env2); err != nil {
+		t.Fatal(err)
+	}
+	if !env2.Cached {
+		t.Fatal("second identical request was not a cache hit")
+	}
+	if env2.PlanID != env1.PlanID {
+		t.Fatalf("plan_id changed across identical requests: %s vs %s", env1.PlanID, env2.PlanID)
+	}
+	if string(env1.Plan) != string(env2.Plan) {
+		t.Fatal("cache hit returned non-identical plan JSON")
+	}
+
+	var m metricsDoc
+	if status := getJSON(t, ts.URL+"/debug/metrics", &m); status != http.StatusOK {
+		t.Fatalf("metrics status = %d", status)
+	}
+	if m.CacheHits != 1 || m.CacheMisses != 1 {
+		t.Fatalf("cache hits/misses = %d/%d, want 1/1", m.CacheHits, m.CacheMisses)
+	}
+	if m.Requests != 2 || m.CacheEntries != 1 {
+		t.Fatalf("requests = %d, cache_entries = %d, want 2, 1", m.Requests, m.CacheEntries)
+	}
+	if m.RowsIngested != 96 {
+		t.Fatalf("rows_ingested = %d, want 96", m.RowsIngested)
+	}
+	if m.LatencyMS.P99 < m.LatencyMS.P50 {
+		t.Fatalf("p99 %g < p50 %g", m.LatencyMS.P99, m.LatencyMS.P50)
+	}
+
+	// A different θ is a different content hash: must miss.
+	status, body3 := postCSV(t, ts.URL+"/v1/sample?theta=0.7", csv)
+	if status != http.StatusOK {
+		t.Fatalf("theta=0.7 POST status = %d, body %s", status, body3)
+	}
+	var env3 sampleEnvelope
+	if err := json.Unmarshal(body3, &env3); err != nil {
+		t.Fatal(err)
+	}
+	if env3.Cached || env3.PlanID == env1.PlanID {
+		t.Fatal("different options should not share a cache entry")
+	}
+}
+
+// TestPlanLookup covers GET /v1/plans/{id}: hit after a POST, 404 otherwise.
+func TestPlanLookup(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	_, body := postCSV(t, ts.URL+"/v1/sample", testCSV())
+	var env sampleEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+
+	var got sampleEnvelope
+	if status := getJSON(t, ts.URL+"/v1/plans/"+env.PlanID, &got); status != http.StatusOK {
+		t.Fatalf("plan lookup status = %d", status)
+	}
+	if !got.Cached || string(got.Plan) != string(env.Plan) {
+		t.Fatal("plan lookup did not return the cached document")
+	}
+
+	var errDoc map[string]string
+	if status := getJSON(t, ts.URL+"/v1/plans/deadbeef", &errDoc); status != http.StatusNotFound {
+		t.Fatalf("unknown plan status = %d, want 404", status)
+	}
+}
+
+func TestOversizedBodyRejected(t *testing.T) {
+	ts := newTestServer(t, Config{MaxBodyBytes: 256})
+	status, body := postCSV(t, ts.URL+"/v1/sample", testCSV())
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413; body %s", status, body)
+	}
+}
+
+func TestMalformedRequests(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	cases := []struct {
+		name        string
+		contentType string
+		body        string
+		query       string
+		want        int
+	}{
+		{"garbage CSV", "text/csv", "not,a,profile\n1,2,3\n", "", http.StatusBadRequest},
+		{"bad metric column", "text/csv", "kernel,index,seq,cta_size,bogus\nk,0,0,128,1\n", "", http.StatusBadRequest},
+		{"negative theta", "text/csv", testCSV(), "?theta=-1", http.StatusBadRequest},
+		{"unparsable theta", "text/csv", testCSV(), "?theta=abc", http.StatusBadRequest},
+		{"unknown selection", "text/csv", testCSV(), "?selection=psychic", http.StatusBadRequest},
+		{"unknown splitter", "text/csv", testCSV(), "?splitter=axe", http.StatusBadRequest},
+		{"empty profile", "text/csv", "kernel,index,seq,cta_size,instruction_count\n", "", http.StatusUnprocessableEntity},
+		{"broken JSON", "application/json", "{", "", http.StatusBadRequest},
+		{"neither source", "application/json", "{}", "", http.StatusBadRequest},
+		{"both sources", "application/json", `{"profile_csv":"x","workload":"lmc"}`, "", http.StatusBadRequest},
+		{"unknown workload", "application/json", `{"workload":"nope"}`, "", http.StatusBadRequest},
+		{"bad scale", "application/json", `{"workload":"lmc","scale":7}`, "", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/sample"+tc.query, tc.contentType, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status = %d, want %d; body %s", resp.StatusCode, tc.want, body)
+			}
+			var doc map[string]string
+			if err := json.Unmarshal(body, &doc); err != nil || doc["error"] == "" {
+				t.Fatalf("error body not a JSON {error}: %s", body)
+			}
+		})
+	}
+}
+
+// TestStreamModeSample exercises the bounded-memory path and its option
+// plumbing through the query string.
+func TestStreamModeSample(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	status, body := postCSV(t, ts.URL+"/v1/sample?stream=true&reservoir_size=8&seed=42", testCSV())
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+	var env sampleEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	var plan struct {
+		Sampled bool `json:"sampled"`
+	}
+	if err := json.Unmarshal(env.Plan, &plan); err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Sampled {
+		t.Fatal("24 invocations over an 8-row reservoir should mark the plan sampled")
+	}
+}
+
+// TestWorkloadMode samples a catalog workload generated server-side via the
+// JSON envelope.
+func TestWorkloadMode(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	req := `{"workload":"lmc","scale":0.05,"options":{"theta":0.4}}`
+	resp, err := http.Post(ts.URL+"/v1/sample", "application/json", strings.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var env sampleEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	var plan struct {
+		NumStrata       int   `json:"num_strata"`
+		Representatives []int `json:"representatives"`
+	}
+	if err := json.Unmarshal(env.Plan, &plan); err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumStrata == 0 || len(plan.Representatives) != plan.NumStrata {
+		t.Fatalf("degenerate workload plan: %d strata, %d representatives", plan.NumStrata, len(plan.Representatives))
+	}
+
+	// Same workload+options → cache hit without re-simulating.
+	resp2, err := http.Post(ts.URL+"/v1/sample", "application/json", strings.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	var env2 sampleEnvelope
+	if err := json.Unmarshal(body2, &env2); err != nil {
+		t.Fatal(err)
+	}
+	if !env2.Cached || string(env2.Plan) != string(env.Plan) {
+		t.Fatal("workload-mode cache hit missing or non-identical")
+	}
+}
+
+func TestCharacterize(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/v1/characterize", "text/csv", strings.NewReader(testCSV()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var doc struct {
+		Kernels []kernelSummaryJSON `json:"kernels"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Kernels) != 4 {
+		t.Fatalf("kernels = %d, want 4", len(doc.Kernels))
+	}
+	for _, k := range doc.Kernels {
+		if k.Invocations != 24 || k.Tier != 3 {
+			t.Fatalf("kernel %s: invocations=%d tier=%d, want 24, 3", k.Kernel, k.Invocations, k.Tier)
+		}
+	}
+}
+
+// TestRequestTimeout maps an expired per-request deadline onto 504.
+func TestRequestTimeout(t *testing.T) {
+	ts := newTestServer(t, Config{RequestTimeout: time.Nanosecond})
+	status, body := postCSV(t, ts.URL+"/v1/sample", testCSV())
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504; body %s", status, body)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	var doc map[string]string
+	if status := getJSON(t, ts.URL+"/healthz", &doc); status != http.StatusOK || doc["status"] != "ok" {
+		t.Fatalf("healthz = %d %v", status, doc)
+	}
+}
+
+// TestCacheEviction bounds the LRU: distinct requests beyond capacity evict
+// the oldest entry.
+func TestCacheEviction(t *testing.T) {
+	ts := newTestServer(t, Config{CacheEntries: 2})
+	ids := make([]string, 3)
+	for i, theta := range []string{"0.3", "0.4", "0.5"} {
+		status, body := postCSV(t, ts.URL+"/v1/sample?theta="+theta, testCSV())
+		if status != http.StatusOK {
+			t.Fatalf("POST theta=%s status = %d", theta, status)
+		}
+		var env sampleEnvelope
+		if err := json.Unmarshal(body, &env); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = env.PlanID
+	}
+	var m metricsDoc
+	getJSON(t, ts.URL+"/debug/metrics", &m)
+	if m.CacheEntries != 2 {
+		t.Fatalf("cache_entries = %d, want 2", m.CacheEntries)
+	}
+	var doc map[string]any
+	if status := getJSON(t, ts.URL+"/v1/plans/"+ids[0], &doc); status != http.StatusNotFound {
+		t.Fatalf("oldest plan still cached: status = %d, want 404", status)
+	}
+	if status := getJSON(t, ts.URL+"/v1/plans/"+ids[2], &doc); status != http.StatusOK {
+		t.Fatalf("newest plan evicted: status = %d, want 200", status)
+	}
+}
+
+// TestParallelismCappedByServer verifies a request cannot exceed the server's
+// per-request worker budget (it silently runs with the cap) while still being
+// cached under the capped key.
+func TestParallelismCappedByServer(t *testing.T) {
+	ts := newTestServer(t, Config{Parallelism: 2})
+	status, body := postCSV(t, ts.URL+"/v1/sample?parallelism=64", testCSV())
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+	status, body = postCSV(t, ts.URL+"/v1/sample?parallelism=128", testCSV())
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+	var env sampleEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if !env.Cached {
+		t.Fatal("both requests cap to the same parallelism; second should hit the cache")
+	}
+}

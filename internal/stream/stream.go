@@ -33,6 +33,7 @@
 package stream
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -280,6 +281,14 @@ func (s *shard) add(row Row) {
 // in strictly ascending Index order, which also rejects duplicate indices.
 // An empty source yields an empty digest, not an error.
 func Ingest(next Source, opts Options) (*Digest, error) {
+	return IngestContext(context.Background(), next, opts)
+}
+
+// IngestContext is Ingest with cancellation: the reader checks ctx once per
+// dispatch batch (BatchSize rows), so a cancelled or timed-out context stops
+// the pass mid-stream — worker shards are drained and their goroutines
+// released — and the call reports ctx.Err() instead of a digest.
+func IngestContext(ctx context.Context, next Source, opts Options) (*Digest, error) {
 	o, err := opts.withDefaults()
 	if err != nil {
 		return nil, err
@@ -287,9 +296,9 @@ func Ingest(next Source, opts Options) (*Digest, error) {
 	var shards []*shard
 	var rows int
 	if o.Parallelism <= 1 {
-		shards, rows, err = ingestSequential(next, o)
+		shards, rows, err = ingestSequential(ctx, next, o)
 	} else {
-		shards, rows, err = ingestParallel(next, o)
+		shards, rows, err = ingestParallel(ctx, next, o)
 	}
 	if err != nil {
 		return nil, err
@@ -315,10 +324,17 @@ func validate(row Row, pos, lastIndex int) error {
 	return nil
 }
 
-func ingestSequential(next Source, o Options) ([]*shard, int, error) {
+func ingestSequential(ctx context.Context, next Source, o Options) ([]*shard, int, error) {
 	sh := newShard(o)
 	pos, lastIndex := 0, math.MinInt
 	for {
+		// Check at the same granularity as the sharded pass: once per
+		// BatchSize rows, plus before the first.
+		if pos%o.BatchSize == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
+		}
 		row, err := next()
 		if err == io.EOF {
 			break
@@ -341,7 +357,7 @@ func ingestSequential(next Source, o Options) ([]*shard, int, error) {
 // fixed-size batches round-robin to worker-owned shards, so which worker
 // processes which row is a pure function of (arrival position, Parallelism,
 // BatchSize) and the merged result is reproducible.
-func ingestParallel(next Source, o Options) ([]*shard, int, error) {
+func ingestParallel(ctx context.Context, next Source, o Options) ([]*shard, int, error) {
 	shards := make([]*shard, o.Parallelism)
 	chans := make([]chan []Row, o.Parallelism)
 	pool := sync.Pool{New: func() any { return make([]Row, 0, o.BatchSize) }}
@@ -379,6 +395,15 @@ func ingestParallel(next Source, o Options) ([]*shard, int, error) {
 	}
 	pos, lastIndex := 0, math.MinInt
 	for {
+		// Cancellation is observed between dispatch batches: the current
+		// batch is abandoned, the shard channels close, and closeAll waits
+		// for every worker to exit before the error returns.
+		if pos%o.BatchSize == 0 {
+			if err := ctx.Err(); err != nil {
+				closeAll()
+				return nil, 0, err
+			}
+		}
 		row, err := next()
 		if err == io.EOF {
 			break

@@ -26,8 +26,24 @@
 package sieve
 
 import (
+	"context"
+
 	"github.com/gpusampling/sieve/internal/core"
 	"github.com/gpusampling/sieve/internal/profiler"
+)
+
+// Sentinel errors shared by the sampling entry points. They arrive wrapped
+// with call-site detail, so resolve them with errors.Is; the sieved service
+// maps them onto HTTP status codes (invalid options → 400, empty profile and
+// sampled-plan metric requests → 422).
+var (
+	// ErrInvalidTheta marks a rejected CoV threshold (explicit θ = 0 or θ < 0).
+	ErrInvalidTheta = core.ErrInvalidTheta
+	// ErrEmptyProfile marks a profile with no invocation rows.
+	ErrEmptyProfile = core.ErrEmptyProfile
+	// ErrSampledPlan marks an exact-membership metric (Speedup,
+	// WeightedCycleCoV) requested on a sampled streaming plan.
+	ErrSampledPlan = core.ErrSampledPlan
 )
 
 // DefaultTheta is the paper's recommended CoV threshold θ = 0.4.
@@ -92,9 +108,19 @@ type Prediction = core.Prediction
 type CycleSource = core.CycleSource
 
 // Sample stratifies a profiled workload and selects weighted representative
-// invocations (Sections III-B and III-C of the paper).
+// invocations (Sections III-B and III-C of the paper). It is SampleContext
+// with context.Background().
 func Sample(profile []InvocationProfile, opts Options) (*Plan, error) {
 	return core.Stratify(profile, opts)
+}
+
+// SampleContext is Sample with cancellation: the per-kernel stratification
+// workers observe ctx between kernels, so a cancelled or timed-out caller
+// gets ctx.Err() back promptly and releases its worker slots instead of
+// pinning them for the rest of the run. This is the entry point long-lived
+// hosts (such as cmd/sieved) should call with a per-request context.
+func SampleContext(ctx context.Context, profile []InvocationProfile, opts Options) (*Plan, error) {
+	return core.StratifyContext(ctx, profile, opts)
 }
 
 // TierFractions reports, for each θ, the fraction of invocations classified
@@ -116,6 +142,12 @@ type KernelSummary = core.KernelSummary
 // workload-analysis side of the Sieve workflow.
 func Characterize(profile []InvocationProfile, theta float64) ([]KernelSummary, error) {
 	return core.Characterize(profile, theta)
+}
+
+// CharacterizeContext is Characterize with cancellation, observed by the
+// underlying stratification pass.
+func CharacterizeContext(ctx context.Context, profile []InvocationProfile, theta float64) ([]KernelSummary, error) {
+	return core.CharacterizeContext(ctx, profile, theta)
 }
 
 // ProfileRows converts a profiler table into Sample's input rows.

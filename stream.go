@@ -1,6 +1,7 @@
 package sieve
 
 import (
+	"context"
 	"io"
 
 	"github.com/gpusampling/sieve/internal/core"
@@ -42,15 +43,29 @@ func SampleStream(next RowSource, opts StreamOptions) (*Plan, error) {
 	return core.StratifyStream(next, opts)
 }
 
+// SampleStreamContext is SampleStream with cancellation: the single ingestion
+// pass observes ctx between dispatch batches and the stratification phase
+// observes it between kernels, so a cancelled or timed-out caller stops the
+// stream mid-pass, drains the ingestion shards, and receives ctx.Err().
+func SampleStreamContext(ctx context.Context, next RowSource, opts StreamOptions) (*Plan, error) {
+	return core.StratifyStreamContext(ctx, next, opts)
+}
+
 // SampleCSV streams a profile CSV (the WriteProfileCSV format) straight into
 // a sampling plan without materializing the table — the end-to-end
 // bounded-memory path for profile logs too large to hold in memory.
 func SampleCSV(r io.Reader, opts StreamOptions) (*Plan, error) {
+	return SampleCSVContext(context.Background(), r, opts)
+}
+
+// SampleCSVContext is SampleCSV with cancellation, observed between
+// ingestion batches and kernels exactly as SampleStreamContext.
+func SampleCSVContext(ctx context.Context, r io.Reader, opts StreamOptions) (*Plan, error) {
 	sc, err := profiler.NewCSVScanner(r)
 	if err != nil {
 		return nil, err
 	}
-	return core.StratifyStream(func() (InvocationProfile, error) {
+	return core.StratifyStreamContext(ctx, func() (InvocationProfile, error) {
 		if !sc.Next() {
 			if err := sc.Err(); err != nil {
 				return InvocationProfile{}, err
