@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench bench-stream bench-serve bench-all vet fmt fuzz-smoke serve experiments record clean
+.PHONY: all build test test-short test-race bench bench-stream bench-serve bench-obs bench-all vet fmt fuzz-smoke serve experiments record report clean
 
 all: build test
 
@@ -47,6 +47,21 @@ bench-serve:
 	$(GO) test -run XXX -bench 'BenchmarkServe' \
 		-benchmem -benchtime 1x -json ./internal/server > BENCH_serve.json
 	@echo "benchmark event stream written to BENCH_serve.json"
+
+# Observability overhead: the full sampling pipeline with no collector vs one
+# recording every stage span, recorded to BENCH_obs.json. The two sub-
+# benchmarks must stay within ~2% of each other.
+bench-obs:
+	$(GO) test -run XXX -bench 'BenchmarkSample$$' \
+		-benchmem -benchtime 1x -json . > BENCH_obs.json
+	@echo "benchmark event stream written to BENCH_obs.json"
+
+# Sample observability report + Chrome trace for the checked-in lmc fixture
+# (CI runs the same as a smoke test of the -report/-trace-out surface).
+report:
+	$(GO) run ./cmd/sieve -profile-in testdata/profile_lmc_scale0.01.csv \
+		-report obs_report.json -trace-out obs_trace.json
+	@echo "wrote obs_report.json and obs_trace.json"
 
 # Run the sieved plan service on the default port.
 serve:

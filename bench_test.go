@@ -6,6 +6,7 @@
 package sieve_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -509,6 +510,34 @@ func BenchmarkBaselineClustering(b *testing.B) {
 }
 
 // --- micro-benchmarks -----------------------------------------------------------
+
+// BenchmarkSample measures the observability layer's overhead on the
+// materializing sampler: nocollector is the production path (every
+// instrumentation site reduced to one context lookup), collector records the
+// full span tree. The bench-obs Makefile target records both in
+// BENCH_obs.json; the collector variant must stay within a few percent.
+func BenchmarkSample(b *testing.B) {
+	f := newFixture(b, "nst", benchScale)
+	b.Run("nocollector", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sieve.SampleContext(context.Background(), f.rows, sieve.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(f.rows)), "invocations")
+	})
+	b.Run("collector", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctx := sieve.WithCollector(context.Background(), sieve.NewCollector())
+			if _, err := sieve.SampleContext(ctx, f.rows, sieve.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(f.rows)), "invocations")
+	})
+}
 
 // BenchmarkStratify compares the sequential per-kernel walk against the
 // bounded-worker fan-out (Parallelism: 0 = GOMAXPROCS). Both produce

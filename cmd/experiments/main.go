@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +25,7 @@ import (
 
 	"github.com/gpusampling/sieve/internal/cliflags"
 	"github.com/gpusampling/sieve/internal/experiments"
+	"github.com/gpusampling/sieve/internal/obs"
 )
 
 func main() {
@@ -33,20 +35,36 @@ func main() {
 		theta      = cliflags.Theta(flag.CommandLine)
 		seed       = cliflags.Seed(flag.CommandLine)
 		workers    = cliflags.Parallelism(flag.CommandLine, "workers")
+		logLevel   = cliflags.LogLevel(flag.CommandLine)
 	)
 	stream, reservoir := cliflags.Stream(flag.CommandLine)
+	report, traceOut := cliflags.Report(flag.CommandLine)
 	flag.Parse()
+	logger := cliflags.MustLogger("experiments", *logLevel)
+
+	// -report / -trace-out record per-stage spans across every experiment's
+	// sampling runs into one collector, exported after the tables print.
+	ctx := context.Background()
+	var col *obs.Collector
+	if *report != "" || *traceOut != "" {
+		col = obs.New()
+		ctx = obs.WithCollector(ctx, col)
+	}
 
 	r := experiments.NewRunner(experiments.Config{
 		Scale: *scale, Theta: *theta, Seed: *seed, Parallelism: *workers,
-		Stream: *stream, ReservoirSize: *reservoir,
+		Stream: *stream, ReservoirSize: *reservoir, Ctx: ctx,
 	})
 	ids := strings.Split(strings.ToLower(*experiment), ",")
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = []string{"table1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "warmup", "sim", "dse", "scaling", "baselines", "xval"}
 	}
 	if err := run(r, ids, *workers); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
+		logger.Error("run failed", "error", err)
+		os.Exit(1)
+	}
+	if err := cliflags.WriteObsOutputs(col, *report, *traceOut); err != nil {
+		logger.Error("observability export failed", "error", err)
 		os.Exit(1)
 	}
 }

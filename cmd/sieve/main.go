@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -35,12 +36,15 @@ func main() {
 		validate     = flag.Bool("validate", true, "measure the full run and report prediction error (needs -workload)")
 		characterize = flag.Bool("characterize", false, "print the per-kernel workload characterization")
 		parallelism  = cliflags.Parallelism(flag.CommandLine)
+		logLevel     = cliflags.LogLevel(flag.CommandLine)
 	)
 	stream, reservoir := cliflags.Stream(flag.CommandLine)
+	report, traceOut := cliflags.Report(flag.CommandLine)
 	flag.Parse()
+	logger := cliflags.MustLogger("sieve", *logLevel)
 	if *characterize {
 		if err := runCharacterize(*workload, *scale, *theta, *arch, *profileIn); err != nil {
-			fmt.Fprintln(os.Stderr, "sieve:", err)
+			logger.Error("characterize failed", "error", err)
 			os.Exit(1)
 		}
 		return
@@ -51,9 +55,10 @@ func main() {
 		ProfileIn: *profileIn, ProfileOut: *profileOut,
 		Validate: *validate, Parallelism: *parallelism,
 		Stream: *stream, Reservoir: *reservoir,
+		Report: *report, TraceOut: *traceOut,
 	}
 	if err := run(cfg); err != nil {
-		fmt.Fprintln(os.Stderr, "sieve:", err)
+		logger.Error("run failed", "error", err)
 		os.Exit(1)
 	}
 }
@@ -68,6 +73,7 @@ type runConfig struct {
 	Parallelism            int
 	Stream                 bool
 	Reservoir              int
+	Report, TraceOut       string
 }
 
 func run(cfg runConfig) error {
@@ -107,6 +113,16 @@ func run(cfg runConfig) error {
 	}
 	if cfg.Stream && profileIn != "" && profileOut != "" {
 		return fmt.Errorf("-profile-out needs a materialized profile; drop it or drop -stream")
+	}
+
+	// -report / -trace-out attach an observability collector to the context the
+	// sampling pipeline runs under; without them the context stays bare and the
+	// pipeline records nothing.
+	ctx := context.Background()
+	var col *sieve.Collector
+	if cfg.Report != "" || cfg.TraceOut != "" {
+		col = sieve.NewCollector()
+		ctx = sieve.WithCollector(ctx, col)
 	}
 
 	var profile *sieve.Profile
@@ -183,22 +199,33 @@ func run(cfg runConfig) error {
 		if err != nil {
 			return err
 		}
-		plan, err = sieve.SampleCSV(f, sieve.StreamOptions{Options: opts, ReservoirSize: cfg.Reservoir})
+		plan, err = sieve.SampleCSVContext(ctx, f, sieve.StreamOptions{Options: opts, ReservoirSize: cfg.Reservoir})
 		f.Close()
 		if err != nil {
 			return err
 		}
 		fmt.Printf("streamed profile from %s\n", profileIn)
 	case cfg.Stream:
-		plan, err = sieve.SampleStream(sieve.SliceSource(sieve.ProfileRows(profile)),
+		plan, err = sieve.SampleStreamContext(ctx, sieve.SliceSource(sieve.ProfileRows(profile)),
 			sieve.StreamOptions{Options: opts, ReservoirSize: cfg.Reservoir})
 		if err != nil {
 			return err
 		}
 	default:
-		plan, err = sieve.Sample(sieve.ProfileRows(profile), opts)
+		plan, err = sieve.SampleContext(ctx, sieve.ProfileRows(profile), opts)
 		if err != nil {
 			return err
+		}
+	}
+	if col != nil {
+		if err := cliflags.WriteObsOutputs(col, cfg.Report, cfg.TraceOut); err != nil {
+			return err
+		}
+		if cfg.Report != "" && cfg.Report != "-" {
+			fmt.Printf("observability report written to %s\n", cfg.Report)
+		}
+		if cfg.TraceOut != "" && cfg.TraceOut != "-" {
+			fmt.Printf("trace-event JSON written to %s\n", cfg.TraceOut)
 		}
 	}
 	printPlan(plan)

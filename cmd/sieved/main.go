@@ -21,7 +21,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -39,27 +41,45 @@ func main() {
 		maxBodyMB     = flag.Int("max-body-mb", 32, "request body size limit in MiB (CSV profiles included)")
 		cacheEntries  = flag.Int("cache", 128, "plan cache capacity (content-hash-addressed LRU entries)")
 		drain         = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window for in-flight runs")
+		withPprof     = flag.Bool("pprof", false, "expose the net/http/pprof profiling handlers under /debug/pprof/")
 		parallelism   = cliflags.Parallelism(flag.CommandLine)
+		logLevel      = cliflags.LogLevel(flag.CommandLine)
 	)
 	flag.Parse()
+	logger := cliflags.MustLogger("sieved", *logLevel)
 	if err := run(*addr, server.Config{
 		MaxConcurrent:  *maxConcurrent,
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   int64(*maxBodyMB) << 20,
 		CacheEntries:   *cacheEntries,
 		Parallelism:    *parallelism,
-	}, *drain); err != nil {
-		fmt.Fprintln(os.Stderr, "sieved:", err)
+		Logger:         logger,
+	}, *drain, *withPprof, logger); err != nil {
+		logger.Error("exiting", "error", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cfg server.Config, drain time.Duration) error {
+func run(addr string, cfg server.Config, drain time.Duration, withPprof bool, logger *slog.Logger) error {
 	s := server.New(cfg)
 	s.Metrics().Publish("sieved")
+	handler := s.Handler()
+	if withPprof {
+		// The profiling handlers mount on an outer mux so they bypass the
+		// access-logged application handler (scrapes every few seconds would
+		// drown the log) and stay absent entirely unless requested.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
 	httpSrv := &http.Server{
 		Addr:              addr,
-		Handler:           s.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -68,7 +88,7 @@ func run(addr string, cfg server.Config, drain time.Duration) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("sieved listening on %s\n", addr)
+		logger.Info("listening", "addr", addr, "pprof", withPprof)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -81,7 +101,7 @@ func run(addr string, cfg server.Config, drain time.Duration) error {
 	// Graceful shutdown: stop accepting, then let in-flight sampling runs
 	// drain within the window; their request contexts are cancelled when the
 	// window expires, which frees the compute workers promptly.
-	fmt.Println("sieved: draining in-flight runs")
+	logger.Info("draining in-flight runs", "window", drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {

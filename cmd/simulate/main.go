@@ -34,10 +34,12 @@ func main() {
 		pkp      = flag.Bool("pkp", false, "Principal Kernel Projection: stop each trace once IPC converges")
 		multiSM  = flag.Int("multism", 0, "simulate across this many explicit SMs (0 = single-SM mode)")
 		jsonOut  = flag.String("json", "", "also write results as JSON to this file")
+		logLevel = cliflags.LogLevel(flag.CommandLine)
 	)
 	flag.Parse()
+	logger := cliflags.MustLogger("simulate", *logLevel)
 	if err := run(*dir, *archName, *parallel, *pkp, *multiSM, *jsonOut); err != nil {
-		fmt.Fprintln(os.Stderr, "simulate:", err)
+		logger.Error("run failed", "error", err)
 		os.Exit(1)
 	}
 }

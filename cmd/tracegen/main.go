@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 
 	"github.com/gpusampling/sieve"
+	"github.com/gpusampling/sieve/internal/cliflags"
 )
 
 func main() {
@@ -26,10 +27,12 @@ func main() {
 		outDir   = flag.String("out", "traces", "output directory for trace files")
 		maxInstr = flag.Int("max-warp-instrs", 0, "per-trace warp-instruction cap (0 = default)")
 		seed     = flag.Int64("seed", 1, "tracer seed")
+		logLevel = cliflags.LogLevel(flag.CommandLine)
 	)
 	flag.Parse()
+	logger := cliflags.MustLogger("tracegen", *logLevel)
 	if err := run(*workload, *scale, *theta, *outDir, *maxInstr, *seed); err != nil {
-		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		logger.Error("run failed", "error", err)
 		os.Exit(1)
 	}
 }

@@ -8,28 +8,38 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
+	"os"
 
 	"github.com/gpusampling/sieve"
+	"github.com/gpusampling/sieve/internal/cliflags"
 )
+
+// fatal reports a terminal error through the structured logger and exits.
+func fatal(logger *slog.Logger, err error) {
+	logger.Error("crossarch failed", "error", err)
+	os.Exit(1)
+}
 
 func main() {
 	scale := flag.Float64("scale", 0.03, "workload scale factor in (0, 1]")
+	logLevel := cliflags.LogLevel(flag.CommandLine)
 	flag.Parse()
+	logger := cliflags.MustLogger("crossarch", *logLevel)
 
 	ampere, err := sieve.NewHardware(sieve.Ampere())
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger, err)
 	}
 	turing, err := sieve.NewHardware(sieve.Turing())
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger, err)
 	}
 
 	specs, err := sieve.WorkloadsBySuite(sieve.SuiteCactus)
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger, err)
 	}
 
 	fmt.Printf("Ampere (RTX 3080) speedup over Turing (RTX 2080 Ti):\n\n")
@@ -42,7 +52,7 @@ func main() {
 		}
 		w, err := sieve.GenerateFromSpec(spec, *scale)
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, err)
 		}
 		goldenA := ampere.MeasureWorkload(w)
 		goldenT := turing.MeasureWorkload(w)
@@ -56,19 +66,19 @@ func main() {
 		// both architectures.
 		profile, err := sieve.ProfileInstructionCounts(w, ampere)
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, err)
 		}
 		plan, err := sieve.Sample(sieve.ProfileRows(profile), sieve.Options{})
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, err)
 		}
 		predA, err := plan.Predict(atA)
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, err)
 		}
 		predT, err := plan.Predict(atT)
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, err)
 		}
 		sieveSpeedup := turing.Seconds(predT.Cycles) / ampere.Seconds(predA.Cycles)
 
@@ -76,19 +86,19 @@ func main() {
 		// reference (the microarchitecture dependency the paper criticizes).
 		full, err := sieve.ProfileFull(w, ampere)
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, err)
 		}
 		pksPlan, err := sieve.PKSSelect(sieve.FeatureRows(full), goldenA, sieve.PKSOptions{Seed: 1})
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, err)
 		}
 		pksA, err := pksPlan.PredictCycles(atA)
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, err)
 		}
 		pksT, err := pksPlan.PredictCycles(atT)
 		if err != nil {
-			log.Fatal(err)
+			fatal(logger, err)
 		}
 		pksSpeedup := turing.Seconds(pksT) / ampere.Seconds(pksA)
 

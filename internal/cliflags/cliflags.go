@@ -8,9 +8,14 @@ package cliflags
 
 import (
 	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
 	"runtime"
 
 	"github.com/gpusampling/sieve/internal/core"
+	"github.com/gpusampling/sieve/internal/obs"
 )
 
 // Canonical help text, shared verbatim by every tool.
@@ -21,6 +26,9 @@ const (
 	archHelp        = "hardware model: ampere, turing, or a JSON arch file"
 	streamHelp      = "use the bounded-memory streaming sampler (single pass, per-kernel reservoirs)"
 	reservoirHelp   = "rows retained per kernel in -stream mode (0 = default)"
+	logLevelHelp    = "structured-log level: debug, info, warn or error"
+	reportHelp      = "write an observability report (per-stage spans, counters, histograms) as JSON to this file ('-' = stdout)"
+	traceOutHelp    = "write the recorded stage spans as Chrome trace_viewer trace-event JSON to this file (open via chrome://tracing or ui.perfetto.dev)"
 )
 
 // Theta registers the canonical -theta flag: the paper's default θ = 0.4.
@@ -63,4 +71,74 @@ func Arch(fs *flag.FlagSet) *string {
 // Stream registers the shared -stream / -reservoir streaming-mode pair.
 func Stream(fs *flag.FlagSet) (stream *bool, reservoir *int) {
 	return fs.Bool("stream", false, streamHelp), fs.Int("reservoir", 0, reservoirHelp)
+}
+
+// LogLevel registers the shared -log-level flag.
+func LogLevel(fs *flag.FlagSet) *string {
+	return fs.String("log-level", "info", logLevelHelp)
+}
+
+// Report registers the shared -report / -trace-out observability output pair.
+func Report(fs *flag.FlagSet) (report, traceOut *string) {
+	return fs.String("report", "", reportHelp), fs.String("trace-out", "", traceOutHelp)
+}
+
+// WriteObsOutputs exports a collector's recorded spans to the -report and
+// -trace-out destinations registered by Report: the structured JSON report to
+// reportPath and Chrome trace_viewer trace-event JSON to tracePath. "-" means
+// stdout, an empty path skips that output, and a nil collector is a no-op.
+func WriteObsOutputs(col *obs.Collector, reportPath, tracePath string) error {
+	if col == nil {
+		return nil
+	}
+	rep := col.Report()
+	if reportPath != "" {
+		if err := writeTo(reportPath, rep.WriteJSON); err != nil {
+			return fmt.Errorf("write report: %w", err)
+		}
+	}
+	if tracePath != "" {
+		if err := writeTo(tracePath, rep.WriteTrace); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+	}
+	return nil
+}
+
+// writeTo streams write into path, with "-" meaning stdout.
+func writeTo(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// NewLogger builds the shared structured logger every tool uses: slog text
+// lines on stderr at the named level (the -log-level value). An unknown level
+// is an error so typos fail loudly instead of silently logging at info.
+func NewLogger(level string) (*slog.Logger, error) {
+	var l slog.Level
+	if err := l.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("invalid log level %q (use debug, info, warn or error)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: l})), nil
+}
+
+// MustLogger is NewLogger for main() preambles: an invalid level prints the
+// error and exits, since no logger exists yet to report it.
+func MustLogger(tool, level string) *slog.Logger {
+	logger, err := NewLogger(level)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+		os.Exit(2)
+	}
+	return logger.With("tool", tool)
 }

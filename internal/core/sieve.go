@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 
 	"github.com/gpusampling/sieve/internal/kde"
+	"github.com/gpusampling/sieve/internal/obs"
 	"github.com/gpusampling/sieve/internal/stats"
 )
 
@@ -287,6 +288,20 @@ func StratifyContext(ctx context.Context, profile []InvocationProfile, opts Opti
 	}
 	sort.Strings(kernelOrder)
 
+	// Observability: with a collector in ctx this records a core.stratify span
+	// (with one core.kernel child per kernel, created by stratifyKernel); with
+	// none, StartSpan returns a nil span and ctx unchanged, so the compute path
+	// below is untouched and the plan stays byte-identical.
+	ctx, sp := obs.StartSpan(ctx, "core.stratify")
+	defer sp.End()
+	if sp.Active() {
+		sp.SetAttr("theta", opts.Theta)
+		sp.SetAttr("parallelism", opts.Parallelism)
+		sp.SetAttr("kernels", len(kernelOrder))
+		sp.SetAttr("splitter", opts.Tier3Splitter.String())
+		sp.Add("rows", int64(len(profile)))
+	}
+
 	// Stratify kernels on a bounded worker pool: kernels are independent, so
 	// each worker owns one kernel's rows end to end and the per-kernel
 	// outputs are reassembled below in sorted kernel order — the result is
@@ -302,7 +317,7 @@ func StratifyContext(ctx context.Context, profile []InvocationProfile, opts Opti
 		kernel := kernelOrder[i]
 		rows := kernelRows[kernel]
 		sort.Slice(rows, func(a, b int) bool { return rows[a].Index < rows[b].Index })
-		strata, tier, err := stratifyKernel(kernel, rows, opts)
+		strata, tier, err := stratifyKernel(ctx, kernel, rows, opts)
 		if err != nil {
 			err = fmt.Errorf("core: kernel %s: %w", kernel, err)
 		}
@@ -349,6 +364,12 @@ func StratifyContext(ctx context.Context, profile []InvocationProfile, opts Opti
 		res.TierInvocations[out.tier-1] += out.rows
 		res.Strata = append(res.Strata, out.strata...)
 	}
+	if sp.Active() {
+		sp.SetAttr("strata", len(res.Strata))
+		sp.SetAttr("tier1_invocations", res.TierInvocations[0])
+		sp.SetAttr("tier2_invocations", res.TierInvocations[1])
+		sp.SetAttr("tier3_invocations", res.TierInvocations[2])
+	}
 
 	// Weights: stratum instruction share of the total (Section III-C).
 	for i := range res.Strata {
@@ -361,7 +382,12 @@ func StratifyContext(ctx context.Context, profile []InvocationProfile, opts Opti
 }
 
 // stratifyKernel classifies one kernel's invocations and returns its strata.
-func stratifyKernel(kernel string, rows []*InvocationProfile, opts Options) ([]Stratum, Tier, error) {
+// When a collector rides ctx it records a core.kernel span carrying the tier
+// decision, the stratum count and the per-stratum CoV.
+func stratifyKernel(ctx context.Context, kernel string, rows []*InvocationProfile, opts Options) ([]Stratum, Tier, error) {
+	ctx, sp := obs.StartSpan(ctx, "core.kernel")
+	defer sp.End()
+
 	counts := make([]float64, len(rows))
 	allEqual := true
 	for i, r := range rows {
@@ -380,11 +406,21 @@ func stratifyKernel(kernel string, rows []*InvocationProfile, opts Options) ([]S
 	default:
 		tier = Tier3
 	}
+	if sp.Active() {
+		sp.SetAttr("kernel", kernel)
+		sp.SetAttr("rows", len(rows))
+		sp.SetAttr("tier", tier.String())
+		sp.SetAttr("cov", stats.CoV(counts))
+	}
 
 	if tier != Tier3 {
 		s, err := buildStratum(kernel, tier, rows, opts)
 		if err != nil {
 			return nil, tier, err
+		}
+		if sp.Active() {
+			sp.SetAttr("strata", 1)
+			sp.SetAttr("strata_cov", []float64{stats.CoV(counts)})
 		}
 		return []Stratum{s}, tier, nil
 	}
@@ -393,9 +429,17 @@ func stratifyKernel(kernel string, rows []*InvocationProfile, opts Options) ([]S
 	// map value groups back to rows. The splitters return ascending groups
 	// that partition the sorted sample, so sorting rows by (count, index)
 	// and carving by group lengths reproduces the assignment exactly.
-	groups, err := splitTier3(counts, opts)
+	groups, err := splitTier3(ctx, counts, opts)
 	if err != nil {
 		return nil, tier, err
+	}
+	if sp.Active() {
+		sp.SetAttr("strata", len(groups))
+		covs := make([]float64, len(groups))
+		for i, g := range groups {
+			covs[i] = stats.CoV(g)
+		}
+		sp.SetAttr("strata_cov", covs)
 	}
 	sortedRows := append([]*InvocationProfile(nil), rows...)
 	sort.SliceStable(sortedRows, func(a, b int) bool {
@@ -423,14 +467,14 @@ func stratifyKernel(kernel string, rows []*InvocationProfile, opts Options) ([]S
 
 // splitTier3 partitions instruction counts into ascending groups whose CoV
 // is below θ, with the configured splitting algorithm.
-func splitTier3(counts []float64, opts Options) ([][]float64, error) {
+func splitTier3(ctx context.Context, counts []float64, opts Options) ([][]float64, error) {
 	switch opts.Tier3Splitter {
 	case SplitKDE:
-		return kde.SplitUnderCoV(counts, opts.Theta)
+		return kde.SplitUnderCoVContext(ctx, counts, opts.Theta)
 	case SplitEqualWidth:
-		return equalWidthSplit(counts, opts.Theta)
+		return equalWidthSplit(ctx, counts, opts.Theta)
 	case SplitGMM:
-		return kde.SplitUnderCoVGMM(counts, opts.Theta)
+		return kde.SplitUnderCoVGMMContext(ctx, counts, opts.Theta)
 	default:
 		return nil, fmt.Errorf("unknown splitter %d", opts.Tier3Splitter)
 	}
@@ -505,7 +549,7 @@ func selectRepresentative(ordered []*InvocationProfile, tier Tier, policy Select
 // equalWidthSplit is the ablation Tier-3 splitter: Freedman–Diaconis
 // equal-width bins followed by the same CoV-constrained bisection the KDE
 // path uses for stubborn groups.
-func equalWidthSplit(counts []float64, theta float64) ([][]float64, error) {
+func equalWidthSplit(ctx context.Context, counts []float64, theta float64) ([][]float64, error) {
 	bins := stats.FreedmanDiaconisBins(counts, 64)
 	h, err := stats.NewHistogram(counts, bins)
 	if err != nil {
@@ -533,7 +577,7 @@ func equalWidthSplit(counts []float64, theta float64) ([][]float64, error) {
 	var out [][]float64
 	for _, g := range groups {
 		if len(g) > 1 && stats.CoV(g) >= theta {
-			sub, err := kde.SplitUnderCoV(g, theta)
+			sub, err := kde.SplitUnderCoVContext(ctx, g, theta)
 			if err != nil {
 				return nil, err
 			}

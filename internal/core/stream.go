@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/gpusampling/sieve/internal/obs"
+	"github.com/gpusampling/sieve/internal/stats"
 	"github.com/gpusampling/sieve/internal/stream"
 )
 
@@ -73,6 +75,16 @@ func StratifyStreamContext(ctx context.Context, next RowSource, opts StreamOptio
 	if err != nil {
 		return nil, err
 	}
+	// The stream.ingest span (from IngestContext) and the per-kernel
+	// core.kernel spans nest under this one; without a collector StartSpan is
+	// a no-op and the pass is untouched.
+	ctx, sp := obs.StartSpan(ctx, "core.stratify_stream")
+	defer sp.End()
+	if sp.Active() {
+		sp.SetAttr("theta", o.Theta)
+		sp.SetAttr("parallelism", o.Parallelism)
+		sp.SetAttr("splitter", o.Tier3Splitter.String())
+	}
 	digest, err := stream.IngestContext(ctx, func() (stream.Row, error) {
 		p, err := next()
 		if err != nil {
@@ -107,10 +119,10 @@ func StratifyStreamContext(ctx context.Context, next RowSource, opts StreamOptio
 			// Exact fallback: the reservoir holds every row, so run the
 			// very same per-kernel stratifier Stratify uses.
 			rows := res.registerRows(kd.Rows())
-			strata, tier, err = stratifyKernel(kd.Name, rows, o)
+			strata, tier, err = stratifyKernel(ctx, kd.Name, rows, o)
 		} else {
 			res.Sampled = true
-			strata, tier, err = stratifyKernelDigest(kd, o, res)
+			strata, tier, err = stratifyKernelDigest(ctx, kd, o, res)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("core: kernel %s: %w", kd.Name, err)
@@ -123,6 +135,12 @@ func StratifyStreamContext(ctx context.Context, next RowSource, opts StreamOptio
 	}
 	for i := range res.Strata {
 		res.Strata[i].Weight = res.Strata[i].InstructionSum / res.TotalInstructions
+	}
+	if sp.Active() {
+		sp.SetAttr("kernels", len(digest.Kernels))
+		sp.SetAttr("strata", len(res.Strata))
+		sp.SetAttr("sampled", res.Sampled)
+		sp.Add("rows", int64(digest.Rows))
 	}
 	return res, nil
 }
@@ -164,7 +182,9 @@ func (r *Result) registerRow(row stream.Row) {
 
 // stratifyKernelDigest builds strata for a kernel that overflowed its
 // reservoir, from the digest's exact aggregates plus the bounded row sample.
-func stratifyKernelDigest(kd *stream.KernelDigest, opts Options, res *Result) ([]Stratum, Tier, error) {
+// Its core.kernel span mirrors stratifyKernel's, with sampled=true and the
+// retained-sample size alongside the exact invocation count.
+func stratifyKernelDigest(ctx context.Context, kd *stream.KernelDigest, opts Options, res *Result) ([]Stratum, Tier, error) {
 	acc := kd.Stats()
 	var tier Tier
 	switch {
@@ -176,7 +196,17 @@ func stratifyKernelDigest(kd *stream.KernelDigest, opts Options, res *Result) ([
 		tier = Tier3
 	}
 
+	ctx, sp := obs.StartSpan(ctx, "core.kernel")
+	defer sp.End()
 	rows := res.registerRows(kd.Rows())
+	if sp.Active() {
+		sp.SetAttr("kernel", kd.Name)
+		sp.SetAttr("rows", kd.N())
+		sp.SetAttr("retained", len(rows))
+		sp.SetAttr("tier", tier.String())
+		sp.SetAttr("cov", acc.CoV())
+		sp.SetAttr("sampled", true)
+	}
 	if tier != Tier3 {
 		// One stratum covering the whole kernel. The instruction total and
 		// the representative are exact — the accumulator and the streaming
@@ -200,6 +230,10 @@ func stratifyKernelDigest(kd *stream.KernelDigest, opts Options, res *Result) ([
 		}
 		res.registerRow(rep)
 		s.Representative = rep.Index
+		if sp.Active() {
+			sp.SetAttr("strata", 1)
+			sp.SetAttr("strata_cov", []float64{acc.CoV()})
+		}
 		return []Stratum{s}, tier, nil
 	}
 
@@ -212,9 +246,17 @@ func stratifyKernelDigest(kd *stream.KernelDigest, opts Options, res *Result) ([
 		counts[i] = p.InstructionCount
 		sampledSum += p.InstructionCount
 	}
-	groups, err := splitTier3(counts, opts)
+	groups, err := splitTier3(ctx, counts, opts)
 	if err != nil {
 		return nil, tier, err
+	}
+	if sp.Active() {
+		sp.SetAttr("strata", len(groups))
+		covs := make([]float64, len(groups))
+		for i, g := range groups {
+			covs[i] = stats.CoV(g)
+		}
+		sp.SetAttr("strata_cov", covs)
 	}
 	sortedRows := append([]*InvocationProfile(nil), rows...)
 	sort.SliceStable(sortedRows, func(a, b int) bool {

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -40,6 +41,18 @@ type Config struct {
 	// exact (the evaluation needs full membership lists for Speedup and
 	// WeightedCycleCoV).
 	ReservoirSize int
+	// Ctx, when non-nil, is the context every sampling pipeline runs under;
+	// attach an obs.Collector to it (cmd/experiments -report/-trace-out) to
+	// record per-stage spans across all experiments. Nil means Background.
+	Ctx context.Context
+}
+
+// ctx returns the configured context, defaulting to Background.
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // DefaultScale keeps full-suite experiments laptop-sized while preserving the
@@ -68,10 +81,10 @@ func (c Config) withDefaults() Config {
 func (c Config) stratify(rows []core.InvocationProfile, theta float64) (*core.Result, error) {
 	opts := core.Options{Theta: theta, Parallelism: c.Parallelism}
 	if !c.Stream {
-		return core.Stratify(rows, opts)
+		return core.StratifyContext(c.ctx(), rows, opts)
 	}
 	i := 0
-	return core.StratifyStream(func() (core.InvocationProfile, error) {
+	return core.StratifyStreamContext(c.ctx(), func() (core.InvocationProfile, error) {
 		if i >= len(rows) {
 			return core.InvocationProfile{}, io.EOF
 		}
@@ -155,7 +168,7 @@ func prepare(spec workloads.Spec, cfg Config) (*prepared, error) {
 	}
 	p.features = FeatureRows(fullProf)
 	p.fullProfSec = fullProf.WallSeconds
-	p.pks, err = pks.Select(p.features, p.golden, pks.Options{Seed: cfg.Seed, Parallelism: cfg.Parallelism})
+	p.pks, err = pks.SelectContext(cfg.ctx(), p.features, p.golden, pks.Options{Seed: cfg.Seed, Parallelism: cfg.Parallelism})
 	if err != nil {
 		return nil, err
 	}

@@ -1,9 +1,12 @@
 package kde
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+
+	"github.com/gpusampling/sieve/internal/obs"
 )
 
 // Mixture is a one-dimensional Gaussian mixture model.
@@ -173,6 +176,28 @@ func (m *Mixture) Assign(x float64) int {
 // (stubborn runs fall back to median bisection). Groups are ascending and
 // partition the input.
 func SplitUnderCoVGMM(xs []float64, threshold float64) ([][]float64, error) {
+	return SplitUnderCoVGMMContext(context.Background(), xs, threshold)
+}
+
+// SplitUnderCoVGMMContext is SplitUnderCoVGMM with observability: a collector
+// attached to ctx records a kde.split_gmm span carrying the sample count and
+// resulting group count. The EM fit itself is uninterruptible; ctx is observed
+// only at span boundaries.
+func SplitUnderCoVGMMContext(ctx context.Context, xs []float64, threshold float64) ([][]float64, error) {
+	_, sp := obs.StartSpan(ctx, "kde.split_gmm")
+	defer sp.End()
+	if sp.Active() {
+		sp.SetAttr("samples", len(xs))
+		sp.SetAttr("threshold", threshold)
+	}
+	out, err := splitUnderCoVGMM(xs, threshold)
+	if err == nil && sp.Active() {
+		sp.SetAttr("groups", len(out))
+	}
+	return out, err
+}
+
+func splitUnderCoVGMM(xs []float64, threshold float64) ([][]float64, error) {
 	if threshold <= 0 {
 		return nil, fmt.Errorf("kde: non-positive CoV threshold %g", threshold)
 	}

@@ -13,6 +13,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"github.com/gpusampling/sieve/internal/obs"
 )
 
 // Estimator is a fitted 1-D Gaussian kernel density estimator.
@@ -121,6 +123,13 @@ func (e *Estimator) GridParallelContext(ctx context.Context, n, workers int) (xs
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
+	}
+	if _, sp := obs.StartSpan(ctx, "kde.grid"); sp.Active() {
+		defer sp.End()
+		sp.SetAttr("points", n)
+		sp.SetAttr("samples", len(e.samples))
+		sp.SetAttr("bandwidth", e.bandwidth)
+		sp.Add("evaluations", int64(n))
 	}
 	lo := e.samples[0] - 3*e.bandwidth
 	hi := e.samples[len(e.samples)-1] + 3*e.bandwidth

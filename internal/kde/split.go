@@ -1,9 +1,12 @@
 package kde
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+
+	"github.com/gpusampling/sieve/internal/obs"
 )
 
 // DefaultGridPoints is the density-grid resolution used by valley splitting.
@@ -16,7 +19,14 @@ const DefaultGridPoints = 512
 // evaluated on an n-point grid — the natural cut points between modes.
 // Plateau minima report their midpoint once.
 func (e *Estimator) Valleys(n int) ([]float64, error) {
-	xs, ds, err := e.Grid(n)
+	return e.ValleysContext(context.Background(), n)
+}
+
+// ValleysContext is Valleys with cancellation and observability: the density
+// grid underneath observes ctx between evaluation chunks and records a
+// kde.grid span when a collector is attached.
+func (e *Estimator) ValleysContext(ctx context.Context, n int) ([]float64, error) {
+	xs, ds, err := e.GridContext(ctx, n)
 	if err != nil {
 		return nil, err
 	}
@@ -85,11 +95,25 @@ const MaxRecursionDepth = 32
 // Groups are sorted ascending; together they contain every input sample.
 // threshold must be positive.
 func SplitUnderCoV(xs []float64, threshold float64) ([][]float64, error) {
+	return SplitUnderCoVContext(context.Background(), xs, threshold)
+}
+
+// SplitUnderCoVContext is SplitUnderCoV with context plumbing: a collector
+// attached to ctx records a kde.split span (sample count, bandwidth, valley
+// and group counts) with the density-grid evaluation nested under it, and a
+// cancelled context stops the grid between evaluation chunks.
+func SplitUnderCoVContext(ctx context.Context, xs []float64, threshold float64) ([][]float64, error) {
 	if threshold <= 0 {
 		return nil, fmt.Errorf("kde: non-positive CoV threshold %g", threshold)
 	}
 	if len(xs) == 0 {
 		return nil, fmt.Errorf("kde: no samples to split")
+	}
+	ctx, sp := obs.StartSpan(ctx, "kde.split")
+	defer sp.End()
+	if sp.Active() {
+		sp.SetAttr("samples", len(xs))
+		sp.SetAttr("threshold", threshold)
 	}
 	// cov must see the caller's order: summation order affects the last ulp
 	// and the pass-through decision must not depend on the sort below.
@@ -99,6 +123,7 @@ func SplitUnderCoV(xs []float64, threshold float64) ([][]float64, error) {
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
 	if passThrough {
+		sp.SetAttr("groups", 1)
 		return [][]float64{sorted}, nil
 	}
 
@@ -106,13 +131,18 @@ func SplitUnderCoV(xs []float64, threshold float64) ([][]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	valleys, err := est.Valleys(DefaultGridPoints)
+	valleys, err := est.ValleysContext(ctx, DefaultGridPoints)
 	if err != nil {
 		return nil, err
 	}
 	var out [][]float64
 	for _, g := range splitSortedAtValleys(sorted, valleys) {
 		out = append(out, bisectUnderCoV(g, threshold, 0)...)
+	}
+	if sp.Active() {
+		sp.SetAttr("bandwidth", est.Bandwidth())
+		sp.SetAttr("valleys", len(valleys))
+		sp.SetAttr("groups", len(out))
 	}
 	return out, nil
 }

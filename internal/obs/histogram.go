@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Log-bucketing parameters. Buckets are geometric: bucket i covers
+// [histMin·growth^i, histMin·growth^(i+1)), spanning ~1 ns to ~17 minutes of
+// seconds-denominated latencies (and, being unitless, any positive metric in
+// that dynamic range). With 8% growth the relative quantile error is bounded
+// by the bucket width: ≤ 4% to the geometric bucket midpoint, which the
+// quantile test pins down against exact percentiles.
+const (
+	histMin     = 1e-9
+	histGrowth  = 1.08
+	histBuckets = 720 // ceil(ln(maxValue/histMin)/ln(histGrowth)); covers ~1e12× range
+)
+
+// invLogGrowth is 1/ln(growth), precomputed for bucket indexing.
+var invLogGrowth = 1 / math.Log(histGrowth)
+
+// Histogram is a concurrency-safe log-bucketed histogram for latencies and
+// other non-negative values. Observations are lock-free atomic increments;
+// quantiles are estimated from the bucket counts with relative error bounded
+// by the bucket growth factor and clamped to the exact observed min/max.
+// The zero value is NOT ready; create via NewHistogram or Registry.Histogram.
+type Histogram struct {
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+	minBits atomic.Uint64 // float64 bits; +Inf until first observation
+	maxBits atomic.Uint64 // float64 bits; -Inf until first observation
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{counts: make([]atomic.Uint64, histBuckets)}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// bucketIndex maps a value to its bucket, clamping the extremes.
+func bucketIndex(v float64) int {
+	if !(v > histMin) { // also catches NaN and negatives
+		return 0
+	}
+	i := int(math.Log(v/histMin) * invLogGrowth)
+	if i < 0 {
+		return 0
+	}
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// bucketBounds returns bucket i's [lo, hi) value range.
+func bucketBounds(i int) (lo, hi float64) {
+	lo = histMin * math.Pow(histGrowth, float64(i))
+	return lo, lo * histGrowth
+}
+
+// Observe records one value. Negative and NaN values count into the lowest
+// bucket (they are clock noise in practice, not valid latencies).
+func (h *Histogram) Observe(v float64) {
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	for {
+		old := h.minBits.Load()
+		if v >= math.Float64frombits(old) || h.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) || h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a wall-clock duration, converted to seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Min returns the smallest observed value (0 before any observation).
+func (h *Histogram) Min() float64 {
+	v := math.Float64frombits(h.minBits.Load())
+	if math.IsInf(v, 1) {
+		return 0
+	}
+	return v
+}
+
+// Max returns the largest observed value (0 before any observation).
+func (h *Histogram) Max() float64 {
+	v := math.Float64frombits(h.maxBits.Load())
+	if math.IsInf(v, -1) {
+		return 0
+	}
+	return v
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed values: the
+// geometric midpoint of the bucket holding the target rank, clamped to the
+// exact observed [min, max]. Returns 0 before any observation.
+func (h *Histogram) Quantile(q float64) float64 {
+	// Snapshot the counts; concurrent observers may race individual buckets
+	// against the total, so walk with the snapshot's own total.
+	snap := make([]uint64, histBuckets)
+	var total uint64
+	for i := range h.counts {
+		snap[i] = h.counts[i].Load()
+		total += snap[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range snap {
+		seen += c
+		if seen >= rank {
+			lo, hi := bucketBounds(i)
+			v := math.Sqrt(lo * hi)
+			if min := h.Min(); v < min {
+				v = min
+			}
+			if max := h.Max(); v > max {
+				v = max
+			}
+			return v
+		}
+	}
+	return h.Max()
+}
+
+// buckets returns the non-empty (upperBound, cumulativeCount) pairs, the
+// Prometheus-histogram view of the data.
+func (h *Histogram) buckets() []BucketReport {
+	var out []BucketReport
+	var cum uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		_, hi := bucketBounds(i)
+		out = append(out, BucketReport{UpperBound: hi, CumulativeCount: cum})
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// exactQuantile is the reference: nearest-rank quantile on sorted data.
+func exactQuantile(sorted []float64, q float64) float64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// TestHistogramQuantileAccuracy pins the log-bucketed quantile estimates
+// against exact percentiles on known data: the bucket growth factor bounds
+// the relative error, so every estimate must land within 10% of the exact
+// percentile across three very different distributions.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	distributions := map[string][]float64{
+		"uniform":   make([]float64, 10000),
+		"lognormal": make([]float64, 10000),
+		"bimodal":   make([]float64, 10000),
+	}
+	for i := range distributions["uniform"] {
+		distributions["uniform"][i] = 1e-3 + 0.5*rng.Float64()
+		distributions["lognormal"][i] = math.Exp(rng.NormFloat64() - 6) // ~2.5ms median
+		if i%2 == 0 {
+			distributions["bimodal"][i] = 1e-4 * (1 + 0.1*rng.Float64())
+		} else {
+			distributions["bimodal"][i] = 2e-1 * (1 + 0.1*rng.Float64())
+		}
+	}
+	for name, data := range distributions {
+		t.Run(name, func(t *testing.T) {
+			h := NewHistogram()
+			for _, v := range data {
+				h.Observe(v)
+			}
+			sorted := append([]float64(nil), data...)
+			sort.Float64s(sorted)
+			for _, q := range []float64{0.01, 0.25, 0.50, 0.90, 0.99, 0.999} {
+				exact := exactQuantile(sorted, q)
+				got := h.Quantile(q)
+				if rel := math.Abs(got-exact) / exact; rel > 0.10 {
+					t.Errorf("q=%g: got %g, exact %g (rel err %.1f%%)", q, got, exact, 100*rel)
+				}
+			}
+			if h.Count() != uint64(len(data)) {
+				t.Fatalf("count = %d", h.Count())
+			}
+			var sum float64
+			for _, v := range data {
+				sum += v
+			}
+			if math.Abs(h.Sum()-sum)/sum > 1e-9 {
+				t.Fatalf("sum = %g, want %g", h.Sum(), sum)
+			}
+			if h.Min() != sorted[0] || h.Max() != sorted[len(sorted)-1] {
+				t.Fatalf("min/max = %g/%g, want %g/%g", h.Min(), h.Max(), sorted[0], sorted[len(sorted)-1])
+			}
+		})
+	}
+}
+
+// TestHistogramEdgeCases covers the empty histogram, a single observation,
+// and out-of-range values.
+func TestHistogramEdgeCases(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must read all zeros")
+	}
+
+	h.Observe(0.125)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 0.125 {
+			t.Fatalf("single-value quantile(%g) = %g (min/max clamp should pin it)", q, got)
+		}
+	}
+
+	// Values outside the bucket range must not panic and must clamp sanely.
+	h2 := NewHistogram()
+	h2.Observe(0)
+	h2.Observe(-1)
+	h2.Observe(1e300)
+	h2.Observe(math.NaN())
+	if h2.Count() != 4 {
+		t.Fatalf("count = %d", h2.Count())
+	}
+	if got := h2.Quantile(0.99); got > 1e300 {
+		t.Fatalf("quantile beyond observed max: %g", got)
+	}
+}
+
+// TestHistogramConcurrentObserve hammers one histogram from many goroutines;
+// under -race this validates the lock-free counters, and the totals must be
+// exact regardless of interleaving.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < per; i++ {
+				h.Observe(1e-4 * (1 + rng.Float64()))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Fatalf("count = %d, want %d", h.Count(), goroutines*per)
+	}
+	if h.Min() < 1e-4 || h.Max() > 2e-4 {
+		t.Fatalf("min/max outside observed range: %g/%g", h.Min(), h.Max())
+	}
+	if q := h.Quantile(0.5); q < 1e-4 || q > 2e-4 {
+		t.Fatalf("median outside observed range: %g", q)
+	}
+}

@@ -1,0 +1,332 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSpanIsNoOp proves the disabled-collector contract: with no Collector
+// in the context, StartSpan returns the context unchanged and a nil span whose
+// every method is safe.
+func TestNilSpanIsNoOp(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "stage")
+	if ctx2 != ctx {
+		t.Fatal("StartSpan without a collector must return the context unchanged")
+	}
+	if sp != nil {
+		t.Fatal("StartSpan without a collector must return a nil span")
+	}
+	if sp.Active() {
+		t.Fatal("nil span must report inactive")
+	}
+	// All nil-receiver methods must be no-ops, not panics.
+	sp.SetAttr("k", "v")
+	sp.Add("n", 1)
+	sp.End()
+	if got := sp.Name(); got != "" {
+		t.Fatalf("nil span name = %q", got)
+	}
+	if FromContext(ctx) != nil {
+		t.Fatal("FromContext on a bare context must be nil")
+	}
+	if WithCollector(ctx, nil) != ctx {
+		t.Fatal("WithCollector(nil) must return the context unchanged")
+	}
+	// A nil registry hands out nil metrics that are also no-ops.
+	var reg *Registry
+	reg.Counter("c").Add(1)
+	if reg.Counter("c").Value() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+	if reg.Histogram("h") != nil {
+		t.Fatal("nil registry must return nil histogram")
+	}
+	if err := reg.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpanNestingAndOrdering verifies the report reproduces the span tree:
+// children nest under their parent, siblings report in chronological start
+// order, and attributes/counters survive the snapshot.
+func TestSpanNestingAndOrdering(t *testing.T) {
+	c := New()
+	ctx := WithCollector(context.Background(), c)
+
+	ctx, root := StartSpan(ctx, "pipeline")
+	root.SetAttr("theta", 0.4)
+	root.Add("rows", 100)
+
+	for _, name := range []string{"first", "second", "third"} {
+		_, child := StartSpan(ctx, name)
+		child.SetAttr("kernel", name)
+		time.Sleep(time.Millisecond)
+		child.End()
+	}
+	// A grandchild under a named child.
+	cctx, child := StartSpan(ctx, "fourth")
+	_, grand := StartSpan(cctx, "grandchild")
+	grand.End()
+	child.End()
+	root.End()
+
+	rep := c.Report()
+	if len(rep.Spans) != 1 {
+		t.Fatalf("want 1 root span, got %d", len(rep.Spans))
+	}
+	r := rep.Spans[0]
+	if r.Name != "pipeline" {
+		t.Fatalf("root span name = %q", r.Name)
+	}
+	if r.Attrs["theta"] != 0.4 {
+		t.Fatalf("root attrs = %v", r.Attrs)
+	}
+	if r.Counters["rows"] != 100 {
+		t.Fatalf("root counters = %v", r.Counters)
+	}
+	if len(r.Children) != 4 {
+		t.Fatalf("want 4 children, got %d", len(r.Children))
+	}
+	wantOrder := []string{"first", "second", "third", "fourth"}
+	var lastStart int64 = -1
+	for i, ch := range r.Children {
+		if ch.Name != wantOrder[i] {
+			t.Fatalf("child %d = %q, want %q", i, ch.Name, wantOrder[i])
+		}
+		if ch.StartNS < lastStart {
+			t.Fatalf("children not in chronological order: %d after %d", ch.StartNS, lastStart)
+		}
+		lastStart = ch.StartNS
+		if ch.DurationNS < 0 {
+			t.Fatalf("negative duration %d", ch.DurationNS)
+		}
+		if ch.StartNS < r.StartNS {
+			t.Fatalf("child starts before parent")
+		}
+	}
+	if len(r.Children[3].Children) != 1 || r.Children[3].Children[0].Name != "grandchild" {
+		t.Fatalf("grandchild not nested: %+v", r.Children[3])
+	}
+	if rep.Find("grandchild") == nil {
+		t.Fatal("Find(grandchild) = nil")
+	}
+	if got := len(rep.FindAll("second")); got != 1 {
+		t.Fatalf("FindAll(second) = %d spans", got)
+	}
+}
+
+// TestSpanEndIdempotent checks that a double End keeps the first end time and
+// that unended spans are closed at report time.
+func TestSpanEndIdempotent(t *testing.T) {
+	c := New()
+	ctx := WithCollector(context.Background(), c)
+	_, sp := StartSpan(ctx, "s")
+	sp.End()
+	first := c.Report().Spans[0].DurationNS
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	if second := c.Report().Spans[0].DurationNS; second != first {
+		t.Fatalf("second End changed duration: %d -> %d", first, second)
+	}
+
+	_, open := StartSpan(ctx, "open")
+	_ = open
+	rep := c.Report()
+	if rep.Find("open").DurationNS < 0 {
+		t.Fatal("open span must report a non-negative duration")
+	}
+}
+
+// TestConcurrentSpansAndRegistry exercises the mutable surfaces from many
+// goroutines; run under -race this is the concurrency regression test.
+func TestConcurrentSpansAndRegistry(t *testing.T) {
+	c := New()
+	ctx := WithCollector(context.Background(), c)
+	ctx, root := StartSpan(ctx, "parallel")
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_, sp := StartSpan(ctx, "worker")
+				sp.SetAttr("g", g)
+				sp.Add("iter", 1)
+				sp.End()
+				c.Registry().Counter("ops").Add(1)
+				c.Registry().Histogram("lat").Observe(float64(i+1) * 1e-4)
+			}
+		}(g)
+	}
+	// Concurrent readers while writers run.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				_ = c.Report()
+				_ = c.Registry().WritePrometheus(&bytes.Buffer{})
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+
+	rep := c.Report()
+	if got := len(rep.FindAll("worker")); got != 400 {
+		t.Fatalf("want 400 worker spans, got %d", got)
+	}
+	if got := c.Registry().Counter("ops").Value(); got != 400 {
+		t.Fatalf("ops counter = %d", got)
+	}
+	if got := c.Registry().Histogram("lat").Count(); got != 400 {
+		t.Fatalf("lat count = %d", got)
+	}
+}
+
+// TestReportJSONAndTrace validates both export formats parse back and carry
+// the span data.
+func TestReportJSONAndTrace(t *testing.T) {
+	c := New()
+	ctx := WithCollector(context.Background(), c)
+	ctx, root := StartSpan(ctx, "run")
+	_, child := StartSpan(ctx, "stage")
+	child.SetAttr("kernel", "k1")
+	child.Add("rows", 7)
+	child.End()
+	root.End()
+	c.Registry().Counter("total").Add(3)
+	c.Registry().Histogram("seconds").Observe(0.25)
+
+	rep := c.Report()
+
+	var jsonBuf bytes.Buffer
+	if err := rep.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(jsonBuf.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not parse: %v", err)
+	}
+	if back.Find("stage") == nil {
+		t.Fatal("round-tripped report lost the stage span")
+	}
+	if len(back.Counters) != 1 || back.Counters[0].Name != "total" || back.Counters[0].Value != 3 {
+		t.Fatalf("counters = %+v", back.Counters)
+	}
+	if len(back.Histograms) != 1 || back.Histograms[0].Count != 1 {
+		t.Fatalf("histograms = %+v", back.Histograms)
+	}
+
+	var traceBuf bytes.Buffer
+	if err := rep.WriteTrace(&traceBuf); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceBuf.Bytes(), &trace); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if len(trace.TraceEvents) != 2 {
+		t.Fatalf("want 2 trace events, got %d", len(trace.TraceEvents))
+	}
+	byName := map[string]int{}
+	for i, ev := range trace.TraceEvents {
+		if ev.Phase != "X" {
+			t.Fatalf("event %d phase = %q", i, ev.Phase)
+		}
+		byName[ev.Name] = i
+	}
+	run := trace.TraceEvents[byName["run"]]
+	stage := trace.TraceEvents[byName["stage"]]
+	if run.TID != stage.TID {
+		t.Fatalf("nested child should share the parent lane: run tid %d, stage tid %d", run.TID, stage.TID)
+	}
+	if stage.TS < run.TS || stage.TS+stage.Dur > run.TS+run.Dur+1e-3 {
+		t.Fatalf("stage [%g,%g] not contained in run [%g,%g]", stage.TS, stage.TS+stage.Dur, run.TS, run.TS+run.Dur)
+	}
+	if stage.Args["kernel"] != "k1" {
+		t.Fatalf("stage args = %v", stage.Args)
+	}
+}
+
+// TestTraceOverlappingSiblingsSplitLanes checks that concurrent sibling spans
+// land on distinct viewer lanes (synthesized by hand-building overlapping
+// intervals rather than racing real clocks).
+func TestTraceOverlappingSiblingsSplitLanes(t *testing.T) {
+	rep := &Report{Spans: []*SpanReport{{
+		Name: "parent", StartNS: 0, DurationNS: 1000,
+		Children: []*SpanReport{
+			{Name: "a", StartNS: 10, DurationNS: 500},
+			{Name: "b", StartNS: 20, DurationNS: 500}, // overlaps a
+			{Name: "c", StartNS: 600, DurationNS: 100},
+		},
+	}}}
+	var buf bytes.Buffer
+	if err := rep.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			TID  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatal(err)
+	}
+	tids := map[string]int{}
+	for _, ev := range trace.TraceEvents {
+		tids[ev.Name] = ev.TID
+	}
+	if tids["a"] == tids["b"] {
+		t.Fatalf("overlapping siblings share lane %d", tids["a"])
+	}
+	if tids["a"] != tids["parent"] {
+		t.Fatalf("first child should nest on the parent lane: %v", tids)
+	}
+	if tids["c"] != tids["parent"] {
+		t.Fatalf("non-overlapping later sibling should reuse the parent lane: %v", tids)
+	}
+}
+
+// TestPrometheusFormat spot-checks the exposition text.
+func TestPrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("requests_total").Add(5)
+	h := reg.Histogram("request seconds") // space must sanitize
+	h.Observe(0.1)
+	h.Observe(0.2)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE requests_total counter\nrequests_total 5\n",
+		"# TYPE request_seconds summary\n",
+		`request_seconds{quantile="0.5"}`,
+		`request_seconds{quantile="0.99"}`,
+		"request_seconds_count 2\n",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically named counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Registry is a concurrency-safe set of named counters and histograms.
+// Lookups create on first use, so instrumentation sites need no registration
+// step. A nil *Registry is safe: lookups return nil metrics whose methods are
+// no-ops.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]*Counter), hists: make(map[string]*Histogram)}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// snapshot freezes the registry into report form, names sorted.
+func (r *Registry) snapshot() ([]CounterReport, []HistogramReport) {
+	if r == nil {
+		return nil, nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	var cr []CounterReport
+	for name, c := range counters {
+		cr = append(cr, CounterReport{Name: name, Value: c.Value()})
+	}
+	sort.Slice(cr, func(a, b int) bool { return cr[a].Name < cr[b].Name })
+	var hr []HistogramReport
+	for name, h := range hists {
+		hr = append(hr, HistogramReport{
+			Name:    name,
+			Count:   h.Count(),
+			Sum:     h.Sum(),
+			Min:     h.Min(),
+			Max:     h.Max(),
+			P50:     h.Quantile(0.50),
+			P90:     h.Quantile(0.90),
+			P99:     h.Quantile(0.99),
+			Buckets: h.buckets(),
+		})
+	}
+	sort.Slice(hr, func(a, b int) bool { return hr[a].Name < hr[b].Name })
+	return cr, hr
+}
+
+// promName sanitizes a metric name into the Prometheus charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// WritePrometheus renders every counter and histogram in Prometheus text
+// exposition format (version 0.0.4): counters as `counter` samples,
+// histograms as `summary` quantiles plus `_sum`/`_count`. Names are sanitized
+// to the Prometheus charset and emitted sorted, so the output is stable for
+// scrape tests.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	counters, hists := r.snapshot()
+	for _, c := range counters {
+		name := promName(c.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range hists {
+		name := promName(h.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", name); err != nil {
+			return err
+		}
+		for _, q := range []struct {
+			label string
+			v     float64
+		}{{"0.5", h.P50}, {"0.9", h.P90}, {"0.99", h.P99}} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %g\n", name, q.label, q.v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, h.Sum, name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -24,6 +24,7 @@ import (
 
 	"github.com/gpusampling/sieve/internal/cluster"
 	"github.com/gpusampling/sieve/internal/mat"
+	"github.com/gpusampling/sieve/internal/obs"
 	"github.com/gpusampling/sieve/internal/pca"
 )
 
@@ -236,6 +237,17 @@ func SelectContext(ctx context.Context, features [][]float64, goldenCycles []flo
 		goldenTotal += c
 	}
 
+	// Observability: each sweep candidate records a pks.k child span under
+	// this one (per-k wall time and distortion); without a collector every
+	// StartSpan is a no-op and the sweep is untouched.
+	ctx, sp := obs.StartSpan(ctx, "pks.select")
+	defer sp.End()
+	if sp.Active() {
+		sp.SetAttr("invocations", len(features))
+		sp.SetAttr("clustering", opts.Clustering.String())
+		sp.SetAttr("parallelism", opts.Parallelism)
+	}
+
 	points, err := reduce(features, opts.VarianceFraction)
 	if err != nil {
 		return nil, err
@@ -276,6 +288,9 @@ func SelectContext(ctx context.Context, features [][]float64, goldenCycles []flo
 		clusterPar = opts.Parallelism // sequential sweep: restarts may fan out
 	}
 	runK := func(k int) {
+		_, ksp := obs.StartSpan(ctx, "pks.k")
+		defer ksp.End()
+		ksp.SetAttr("k", k)
 		rng := rand.New(rand.NewSource(opts.Seed + int64(k)*7919))
 		km := clusterings[k]
 		if km == nil {
@@ -292,6 +307,7 @@ func SelectContext(ctx context.Context, features [][]float64, goldenCycles []flo
 		res := assemble(points, fitIdx, km, opts, rng)
 		candidates[k] = res
 		errsByK[k] = distortion(res, goldenCycles, goldenTotal)
+		ksp.SetAttr("distortion", errsByK[k])
 	}
 	if workers <= 1 {
 		for k := 1; k <= maxK; k++ {
@@ -337,6 +353,11 @@ func SelectContext(ctx context.Context, features [][]float64, goldenCycles []flo
 			candidates[k].KSelectionError = errsByK[k]
 			best = candidates[k]
 		}
+	}
+	if sp.Active() {
+		sp.SetAttr("max_k", maxK)
+		sp.SetAttr("chosen_k", best.K)
+		sp.SetAttr("distortion", best.KSelectionError)
 	}
 	return best, nil
 }

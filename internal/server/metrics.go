@@ -4,20 +4,23 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
-	"sort"
 	"sync"
 	"time"
+
+	"github.com/gpusampling/sieve/internal/obs"
 )
 
-// latencyWindow is the number of recent request latencies retained for the
-// p50/p99 estimates: a fixed ring, so the quantiles track current behaviour
-// and the memory cost is constant.
-const latencyWindow = 512
+// requestSecondsMetric names the request-latency histogram in the registry
+// and therefore in the Prometheus exposition.
+const requestSecondsMetric = "sieved_request_seconds"
 
 // metrics holds the server's expvar counters. The vars are kept off the
 // global expvar namespace so several servers can coexist in one process
 // (every httptest server would otherwise collide on Publish); cmd/sieved
-// additionally publishes them globally under the "sieved" name.
+// additionally publishes them globally under the "sieved" name. Request
+// latencies go to a shared obs.Histogram (log-bucketed, lock-free) instead of
+// a bespoke ring: quantiles cover the server's lifetime at constant memory
+// and the same histogram feeds /debug/metrics and the Prometheus exposition.
 type metrics struct {
 	Requests     expvar.Int // sampling/characterization requests accepted
 	Failures     expvar.Int // requests answered with a 4xx/5xx
@@ -27,43 +30,33 @@ type metrics struct {
 	Rejected     expvar.Int // requests that gave up waiting for a slot
 	RowsIngested expvar.Int // profile rows ingested across all requests
 
-	mu        sync.Mutex
-	latencies [latencyWindow]time.Duration
-	at        int
-	n         int
+	regOnce sync.Once
+	reg     *obs.Registry
 }
 
-// observeLatency records one completed request's wall time in the ring.
+// registry lazily creates the metric registry so the zero-value metrics
+// struct embedded in Server keeps working without a constructor.
+func (m *metrics) registry() *obs.Registry {
+	m.regOnce.Do(func() { m.reg = obs.NewRegistry() })
+	return m.reg
+}
+
+// observeLatency records one completed request's wall time.
 func (m *metrics) observeLatency(d time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.latencies[m.at] = d
-	m.at = (m.at + 1) % latencyWindow
-	if m.n < latencyWindow {
-		m.n++
-	}
+	m.registry().Histogram(requestSecondsMetric).ObserveDuration(d)
 }
 
-// quantiles returns the p50 and p99 of the retained latencies, in
+// quantiles returns the p50 and p99 of the recorded latencies, in
 // milliseconds (0, 0 before the first request).
 func (m *metrics) quantiles() (p50, p99 float64) {
-	m.mu.Lock()
-	snap := make([]time.Duration, m.n)
-	copy(snap, m.latencies[:m.n])
-	m.mu.Unlock()
-	if len(snap) == 0 {
-		return 0, 0
-	}
-	sort.Slice(snap, func(i, j int) bool { return snap[i] < snap[j] })
-	q := func(p float64) float64 {
-		i := int(p * float64(len(snap)-1))
-		return float64(snap[i]) / float64(time.Millisecond)
-	}
-	return q(0.50), q(0.99)
+	h := m.registry().Histogram(requestSecondsMetric)
+	return h.Quantile(0.50) * 1e3, h.Quantile(0.99) * 1e3
 }
 
 // handler serves the /debug/metrics snapshot. expvar.Int values render as
-// JSON numbers via String(), so the document is assembled directly.
+// JSON numbers via String(), so the document is assembled directly. The JSON
+// shape (keys and nesting) is a compatibility contract pinned by
+// TestDebugMetricsJSONShape — monitoring dashboards parse it.
 func (m *metrics) handler(cacheLen func() int) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		p50, p99 := m.quantiles()
@@ -73,6 +66,30 @@ func (m *metrics) handler(cacheLen func() int) http.HandlerFunc {
 			m.CacheHits.String(), m.CacheMisses.String(), cacheLen(),
 			m.InFlight.String(), m.Rejected.String(), m.RowsIngested.String(),
 			p50, p99)
+	}
+}
+
+// prometheus serves the counters and the latency summary in Prometheus text
+// exposition format (0.0.4): counters and gauges are written directly from
+// the expvar values, the latency summary comes from the shared registry.
+func (m *metrics) prometheus(cacheLen func() int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		counter := func(name string, v int64) {
+			fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v)
+		}
+		gauge := func(name string, v int64) {
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, v)
+		}
+		counter("sieved_requests_total", m.Requests.Value())
+		counter("sieved_failures_total", m.Failures.Value())
+		counter("sieved_cache_hits_total", m.CacheHits.Value())
+		counter("sieved_cache_misses_total", m.CacheMisses.Value())
+		counter("sieved_rejected_total", m.Rejected.Value())
+		counter("sieved_rows_ingested_total", m.RowsIngested.Value())
+		gauge("sieved_in_flight", m.InFlight.Value())
+		gauge("sieved_cache_entries", int64(cacheLen()))
+		_ = m.registry().WritePrometheus(w)
 	}
 }
 

@@ -9,7 +9,8 @@
 //	POST /v1/characterize  same input → per-kernel workload characterization
 //	GET  /v1/plans/{id}    content-hash-addressed plan lookup
 //	GET  /healthz          liveness
-//	GET  /debug/metrics    expvar counters + latency quantiles
+//	GET  /debug/metrics    expvar counters + latency quantiles (JSON)
+//	GET  /metrics          the same metrics in Prometheus text exposition format
 //
 // Every sampling run is bounded three ways: a worker-slot semaphore caps
 // concurrent compute, a per-request timeout caps each run's wall time, and
@@ -31,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"mime"
 	"net/http"
 	"net/url"
@@ -58,6 +60,10 @@ type Config struct {
 	// Parallelism is the per-request sampling worker default when the
 	// request does not choose its own (0 = GOMAXPROCS).
 	Parallelism int
+	// Logger, when set, receives one structured access log line per request
+	// (method, path, status, duration) plus error detail for failed runs.
+	// Nil disables request logging.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -101,11 +107,39 @@ func New(cfg Config) *Server {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	s.mux.HandleFunc("GET /debug/metrics", s.metrics.handler(s.cache.len))
+	s.mux.HandleFunc("GET /metrics", s.metrics.prometheus(s.cache.len))
 	return s
 }
 
-// Handler returns the routed handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// statusRecorder captures the response status for the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Handler returns the routed handler, wrapped in structured access logging
+// when Config.Logger is set.
+func (s *Server) Handler() http.Handler {
+	if s.cfg.Logger == nil {
+		return s.mux
+	}
+	log := s.cfg.Logger
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		s.mux.ServeHTTP(rec, r)
+		log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"duration_ms", float64(time.Since(start))/float64(time.Millisecond))
+	})
+}
 
 // Metrics exposes the counters, e.g. for global expvar publication.
 func (s *Server) Metrics() *metrics { return &s.metrics }
@@ -187,7 +221,11 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	s.metrics.Failures.Add(1)
-	writeJSON(w, statusFor(err), map[string]string{"error": err.Error()})
+	status := statusFor(err)
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Warn("request failed", "status", status, "error", err.Error())
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
 // decodeRequest reads the bounded body and normalizes both accepted shapes —

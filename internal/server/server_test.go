@@ -1,12 +1,15 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -392,4 +395,140 @@ func TestParallelismCappedByServer(t *testing.T) {
 	if !env.Cached {
 		t.Fatal("both requests cap to the same parallelism; second should hit the cache")
 	}
+}
+
+// TestDebugMetricsJSONShape pins the /debug/metrics document's exact key set
+// and nesting: dashboards parse this JSON, so replacing the latency backend
+// (ring buffer → shared obs.Histogram) must not move a single key.
+func TestDebugMetricsJSONShape(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	if status, _ := postCSV(t, ts.URL+"/v1/sample", testCSV()); status != http.StatusOK {
+		t.Fatalf("sample status %d", status)
+	}
+	resp, err := http.Get(ts.URL + "/debug/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"requests", "failures", "cache_hits", "cache_misses", "cache_entries",
+		"in_flight", "rejected", "rows_ingested", "latency_ms",
+	}
+	for _, k := range want {
+		if _, ok := doc[k]; !ok {
+			t.Errorf("/debug/metrics lost key %q", k)
+		}
+	}
+	if len(doc) != len(want) {
+		t.Errorf("/debug/metrics has %d keys, want %d: %v", len(doc), len(want), doc)
+	}
+	var lat struct {
+		P50 *float64 `json:"p50"`
+		P99 *float64 `json:"p99"`
+	}
+	if err := json.Unmarshal(doc["latency_ms"], &lat); err != nil {
+		t.Fatal(err)
+	}
+	if lat.P50 == nil || lat.P99 == nil {
+		t.Fatalf("latency_ms lost p50/p99: %s", doc["latency_ms"])
+	}
+	if *lat.P50 <= 0 || *lat.P99 < *lat.P50 {
+		t.Fatalf("implausible latency quantiles after one request: p50=%g p99=%g", *lat.P50, *lat.P99)
+	}
+}
+
+// TestPrometheusMetricsEndpoint checks GET /metrics serves valid-looking
+// Prometheus text exposition with the counters and the latency summary.
+func TestPrometheusMetricsEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	if status, _ := postCSV(t, ts.URL+"/v1/sample", testCSV()); status != http.StatusOK {
+		t.Fatalf("sample status %d", status)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE sieved_requests_total counter\nsieved_requests_total 1\n",
+		"# TYPE sieved_cache_misses_total counter\nsieved_cache_misses_total 1\n",
+		"# TYPE sieved_in_flight gauge\n",
+		"# TYPE sieved_request_seconds summary\n",
+		`sieved_request_seconds{quantile="0.99"}`,
+		"sieved_request_seconds_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestRequestLogging checks that a configured slog.Logger receives one access
+// line per request with method/path/status attributes.
+func TestRequestLogging(t *testing.T) {
+	var buf syncBuffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	ts := newTestServer(t, Config{Logger: logger})
+	if status, _ := postCSV(t, ts.URL+"/v1/sample", testCSV()); status != http.StatusOK {
+		t.Fatalf("sample status %d", status)
+	}
+	// A failing request must log too (and at warn level via writeError).
+	if status, _ := postCSV(t, ts.URL+"/v1/sample", "not,a,profile\n1,2,3\n"); status == http.StatusOK {
+		t.Fatal("malformed CSV unexpectedly accepted")
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	var access []map[string]any
+	for _, ln := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", ln, err)
+		}
+		if rec["msg"] == "request" {
+			access = append(access, rec)
+		}
+	}
+	if len(access) != 2 {
+		t.Fatalf("want 2 access log lines, got %d: %s", len(access), buf.String())
+	}
+	first := access[0]
+	if first["method"] != "POST" || first["path"] != "/v1/sample" || first["status"] != float64(http.StatusOK) {
+		t.Fatalf("access line = %v", first)
+	}
+	if _, ok := first["duration_ms"].(float64); !ok {
+		t.Fatalf("access line missing duration_ms: %v", first)
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the server handles requests on
+// its own goroutines, so the log sink must be safe for concurrent writes.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }

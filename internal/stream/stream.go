@@ -40,6 +40,7 @@ import (
 	"sort"
 	"sync"
 
+	"github.com/gpusampling/sieve/internal/obs"
 	"github.com/gpusampling/sieve/internal/stats"
 )
 
@@ -249,6 +250,10 @@ func (d *KernelDigest) MaxCTA() CTAClass {
 // NumCTAClasses returns the number of distinct thread-block sizes seen.
 func (d *KernelDigest) NumCTAClasses() int { return len(d.ctas) }
 
+// Retained returns the number of rows the reservoir holds — equal to N for
+// complete kernels, ReservoirSize for overflowed ones.
+func (d *KernelDigest) Retained() int { return len(d.res.rows) }
+
 // Digest is the merged result of one streaming pass.
 type Digest struct {
 	// Kernels holds one digest per kernel, sorted by kernel name.
@@ -293,6 +298,16 @@ func IngestContext(ctx context.Context, next Source, opts Options) (*Digest, err
 	if err != nil {
 		return nil, err
 	}
+	// Observability: record the pass as a stream.ingest span (row/kernel
+	// totals plus per-kernel exact-vs-sampled retention) when a collector
+	// rides ctx; a bare context skips all of it.
+	_, sp := obs.StartSpan(ctx, "stream.ingest")
+	defer sp.End()
+	if sp.Active() {
+		sp.SetAttr("parallelism", o.Parallelism)
+		sp.SetAttr("batch_size", o.BatchSize)
+		sp.SetAttr("reservoir_size", o.ReservoirSize)
+	}
 	var shards []*shard
 	var rows int
 	if o.Parallelism <= 1 {
@@ -303,7 +318,23 @@ func IngestContext(ctx context.Context, next Source, opts Options) (*Digest, err
 	if err != nil {
 		return nil, err
 	}
-	return assemble(shards, rows), nil
+	d := assemble(shards, rows)
+	if sp.Active() {
+		sp.Add("rows", int64(d.Rows))
+		sp.SetAttr("kernels", len(d.Kernels))
+		exact, sampled := 0, 0
+		for _, kd := range d.Kernels {
+			if kd.Complete() {
+				exact++
+			} else {
+				sampled++
+			}
+			sp.Add("retained", int64(kd.Retained()))
+		}
+		sp.SetAttr("kernels_exact", exact)
+		sp.SetAttr("kernels_sampled", sampled)
+	}
+	return d, nil
 }
 
 // validate checks one row and the ordering contract. lastIndex is the
