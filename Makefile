@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench bench-stream bench-serve bench-obs bench-all vet fmt fuzz-smoke serve experiments record report clean
+.PHONY: all build test test-short test-race bench bench-compare bench-stream bench-serve bench-obs bench-all vet fmt fuzz-smoke serve experiments record report clean
 
 all: build test
 
@@ -30,8 +30,17 @@ fmt:
 # future PRs have a perf trajectory to diff against.
 bench:
 	$(GO) test -run XXX -bench 'BenchmarkStratify|BenchmarkPKSSelect|BenchmarkKDEGrid' \
-		-benchmem -benchtime 1x -json . > BENCH_parallel.json
+		-benchmem -benchtime 10x -json . > BENCH_parallel.json
 	@echo "benchmark event stream written to BENCH_parallel.json"
+
+# Re-run the hot-path benchmarks and diff them against the checked-in
+# BENCH_parallel.json with the repo's own comparison tool (benchstat-style
+# old → new deltas, no external dependency).
+bench-compare:
+	$(GO) test -run XXX -bench 'BenchmarkStratify|BenchmarkPKSSelect|BenchmarkKDEGrid' \
+		-benchmem -benchtime 10x -json . > BENCH_parallel.new.json
+	$(GO) run ./cmd/benchcmp BENCH_parallel.json BENCH_parallel.new.json
+	@rm -f BENCH_parallel.new.json
 
 # Streaming-vs-materialized ingestion: allocs/op of the streaming sampler
 # must stay flat as the invocation count grows (bounded by kernels ×

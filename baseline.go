@@ -29,9 +29,10 @@ const (
 )
 
 // PKSOptions configures the PKS baseline. The k = 1..MaxK sweep runs across
-// GOMAXPROCS workers by default (set Parallelism to 1 for sequential
-// execution; results are byte-identical either way), and Restarts adds
-// deterministic k-means restarts per candidate k.
+// GOMAXPROCS workers by default when its estimated cost clears the
+// MinParallelWork threshold (set Parallelism to 1 for sequential execution;
+// results are byte-identical either way), and Restarts adds deterministic
+// k-means restarts per candidate k.
 type PKSOptions = pks.Options
 
 // PKSPlan is a complete PKS selection: clusters, representatives and the

@@ -552,6 +552,8 @@ func BenchmarkStratify(b *testing.B) {
 		{"parallel", 0},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := sieve.Sample(f.rows, sieve.Options{Parallelism: bc.parallelism}); err != nil {
 					b.Fatal(err)
@@ -583,6 +585,8 @@ func BenchmarkPKSSelect(b *testing.B) {
 		{"parallel", 0},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := sieve.PKSSelect(features, f.golden, sieve.PKSOptions{Seed: 1, Parallelism: bc.parallelism}); err != nil {
 					b.Fatal(err)
@@ -593,11 +597,14 @@ func BenchmarkPKSSelect(b *testing.B) {
 }
 
 // BenchmarkKDEGrid measures density-grid evaluation — the Tier-3 splitting
-// hot path. "per-point" replays the old algorithm (an independent binary
-// search per grid point via Density); "sliding" is the new single-window
-// evaluation; "parallel" chunks the grid across workers. Two bandwidth
-// regimes: Silverman (wide windows, kernel-evaluation bound) and a narrow
-// bandwidth where the per-point search bookkeeping dominates.
+// hot path. "per-point" replays the pre-binning algorithm (an independent
+// evaluation per grid point via Density); "exact" is the sliding-window
+// reference evaluator (GridExact); "binned" is the production Grid path,
+// which linear-bins samples onto the grid and convolves with a truncated
+// kernel table when the bandwidth spans enough grid steps, falling back to
+// the exact evaluator otherwise (the narrow regime exercises the fallback).
+// "binned-into" is the same path through GridInto with caller-owned buffers,
+// the zero-allocation form the splitter uses.
 func BenchmarkKDEGrid(b *testing.B) {
 	const nSamples, gridPoints = 50000, 2048
 	rng := rand.New(rand.NewSource(1))
@@ -623,6 +630,8 @@ func BenchmarkKDEGrid(b *testing.B) {
 		}
 		lo, step := bounds[0], (bounds[1]-bounds[0])/float64(gridPoints-1)
 		b.Run(bw.name+"/per-point", func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				var sink float64
 				for p := 0; p < gridPoints; p++ {
@@ -631,16 +640,31 @@ func BenchmarkKDEGrid(b *testing.B) {
 				_ = sink
 			}
 		})
-		b.Run(bw.name+"/sliding", func(b *testing.B) {
+		b.Run(bw.name+"/exact", func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := est.GridExact(gridPoints); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(bw.name+"/binned", func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := est.Grid(gridPoints); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
-		b.Run(bw.name+"/parallel", func(b *testing.B) {
+		b.Run(bw.name+"/binned-into", func(b *testing.B) {
+			xs, ds := make([]float64, gridPoints), make([]float64, gridPoints)
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := est.GridParallel(gridPoints, 0); err != nil {
+				if err := est.GridInto(ctx, xs, ds); err != nil {
 					b.Fatal(err)
 				}
 			}

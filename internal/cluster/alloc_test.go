@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestLloydZeroSteadyStateAllocs pins the zero-allocation property of the
+// Lloyd iteration loop: once a Scratch has grown to the run's (n, dim, k),
+// repeated seeded runs over the same dataset allocate nothing. This is what
+// makes the PKS k-sweep (one Scratch reused across every candidate k)
+// allocation-free outside result materialization.
+func TestLloydZeroSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	rng := rand.New(rand.NewSource(42))
+	points := make([][]float64, 400)
+	for i := range points {
+		points[i] = []float64{rng.NormFloat64(), rng.NormFloat64() + float64(i%4)*10, rng.NormFloat64()}
+	}
+	ds, err := NewDataset(points)
+	if err != nil {
+		t.Fatalf("NewDataset: %v", err)
+	}
+	cfg := Config{K: 4, Rng: rng}
+	if err := validate(ds, &cfg); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	s := &Scratch{}
+	lloyd(ds, &cfg, rand.New(rand.NewSource(7)), s) // warm-up grows the scratch
+
+	allocs := testing.AllocsPerRun(25, func() {
+		lloyd(ds, &cfg, rand.New(rand.NewSource(7)), s)
+	})
+	// Budget of 2 covers the rand.New source + Rand wrappers the closure
+	// itself creates; the Lloyd loop contributes zero.
+	if allocs > 2 {
+		t.Fatalf("lloyd steady state allocates %.0f objects per run, want ≤ 2 (rng construction only)", allocs)
+	}
+}
+
+// TestKMeansDatasetScratchReuseMatchesFresh verifies that reusing one
+// Scratch across runs cannot leak state between them: results with a shared
+// scratch are identical to results with a fresh scratch per call.
+func TestKMeansDatasetScratchReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	points := make([][]float64, 150)
+	for i := range points {
+		points[i] = []float64{rng.Float64() * 100, rng.Float64()}
+	}
+	ds, err := NewDataset(points)
+	if err != nil {
+		t.Fatalf("NewDataset: %v", err)
+	}
+	shared := &Scratch{}
+	for k := 1; k <= 8; k++ {
+		cfg := Config{K: k, Rng: rand.New(rand.NewSource(int64(k)))}
+		got, err := KMeansDataset(ds, cfg, shared)
+		if err != nil {
+			t.Fatalf("K=%d shared: %v", k, err)
+		}
+		cfg2 := Config{K: k, Rng: rand.New(rand.NewSource(int64(k)))}
+		want, err := KMeansDataset(ds, cfg2, nil)
+		if err != nil {
+			t.Fatalf("K=%d fresh: %v", k, err)
+		}
+		if got.Inertia != want.Inertia || got.Iterations != want.Iterations {
+			t.Fatalf("K=%d: shared scratch diverges from fresh (inertia %v vs %v, iters %d vs %d)",
+				k, got.Inertia, want.Inertia, got.Iterations, want.Iterations)
+		}
+		for i := range got.Assignments {
+			if got.Assignments[i] != want.Assignments[i] {
+				t.Fatalf("K=%d: assignment %d differs: %d vs %d", k, i, got.Assignments[i], want.Assignments[i])
+			}
+		}
+	}
+}

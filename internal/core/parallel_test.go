@@ -72,12 +72,14 @@ func TestStratifyParallelMatchesSequential(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			seq, err := Stratify(tc.profile, Options{Parallelism: 1, Tier3Splitter: tc.splitter})
+			// MinParallelWork: 1 forces the pool even on these small synthetic
+			// profiles, so the parallel path itself is what gets compared.
+			seq, err := Stratify(tc.profile, Options{Parallelism: 1, Tier3Splitter: tc.splitter, MinParallelWork: 1})
 			if err != nil {
 				t.Fatal(err)
 			}
 			for _, workers := range []int{0, 2, 7, 64} {
-				par, err := Stratify(tc.profile, Options{Parallelism: workers, Tier3Splitter: tc.splitter})
+				par, err := Stratify(tc.profile, Options{Parallelism: workers, Tier3Splitter: tc.splitter, MinParallelWork: 1})
 				if err != nil {
 					t.Fatalf("parallelism %d: %v", workers, err)
 				}
@@ -90,11 +92,11 @@ func TestStratifyParallelMatchesSequential(t *testing.T) {
 func TestStratifyParallelAcrossSeeds(t *testing.T) {
 	for seed := int64(10); seed < 15; seed++ {
 		profile := synthProfile(seed, 12, 50)
-		seq, err := Stratify(profile, Options{Parallelism: 1})
+		seq, err := Stratify(profile, Options{Parallelism: 1, MinParallelWork: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
-		par, err := Stratify(profile, Options{Parallelism: 8})
+		par, err := Stratify(profile, Options{Parallelism: 8, MinParallelWork: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -107,6 +109,25 @@ func TestStratifyNegativeParallelismRejected(t *testing.T) {
 	if _, err := Stratify(profile, Options{Parallelism: -1}); err == nil {
 		t.Fatal("want error for negative parallelism")
 	}
+	if _, err := Stratify(profile, Options{MinParallelWork: -3}); err == nil {
+		t.Fatal("want error for negative MinParallelWork")
+	}
+}
+
+// TestStratifyWorkGateMatchesForcedPool proves the work-size gate is purely
+// a scheduling decision: routing a profile inline (high threshold) and
+// forcing it onto the pool (threshold 1) produce identical plans.
+func TestStratifyWorkGateMatchesForcedPool(t *testing.T) {
+	profile := synthProfile(21, 18, 60)
+	inline, err := Stratify(profile, Options{Parallelism: 4, MinParallelWork: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := Stratify(profile, Options{Parallelism: 4, MinParallelWork: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsEqual(t, inline, pooled, "work gate")
 }
 
 // TestStratifyParallelErrorDeterministic checks that the first-by-kernel-order

@@ -1,0 +1,5 @@
+//go:build !race
+
+package kde
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package kde
+
+// raceEnabled reports that the race detector is active; its instrumentation
+// allocates, so allocation-regression tests skip themselves under -race.
+const raceEnabled = true

@@ -24,12 +24,28 @@ func (e *Estimator) Valleys(n int) ([]float64, error) {
 
 // ValleysContext is Valleys with cancellation and observability: the density
 // grid underneath observes ctx between evaluation chunks and records a
-// kde.grid span when a collector is attached.
+// kde.grid span when a collector is attached. The grid itself lives in
+// pooled scratch, so only the (typically tiny) valley slice is allocated.
 func (e *Estimator) ValleysContext(ctx context.Context, n int) ([]float64, error) {
-	xs, ds, err := e.GridContext(ctx, n)
-	if err != nil {
+	if n < 2 {
+		return nil, fmt.Errorf("kde: grid needs at least 2 points, got %d", n)
+	}
+	xsBuf, dsBuf := getFloats(n), getFloats(n)
+	defer putFloats(xsBuf)
+	defer putFloats(dsBuf)
+	xs, ds := *xsBuf, *dsBuf
+	if err := e.GridInto(ctx, xs, ds); err != nil {
 		return nil, err
 	}
+	return ValleysFromGrid(xs, ds), nil
+}
+
+// ValleysFromGrid scans an evaluated density grid for local minima and
+// returns their positions; plateau minima report their midpoint once. It is
+// the pure reduction ValleysContext applies to the binned grid — exposed so
+// verification code can run the identical scan over a reference grid (e.g.
+// GridExact) and compare valley sets.
+func ValleysFromGrid(xs, ds []float64) []float64 {
 	var valleys []float64
 	i := 1
 	for i < len(ds)-1 {
@@ -47,7 +63,7 @@ func (e *Estimator) ValleysContext(ctx context.Context, n int) ([]float64, error
 		}
 		i++
 	}
-	return valleys, nil
+	return valleys
 }
 
 // SplitAtValleys partitions xs into groups separated by the density valleys:

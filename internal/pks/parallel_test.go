@@ -30,14 +30,19 @@ func TestSelectParallelMatchesSequential(t *testing.T) {
 		opts Options
 		n    int
 	}{
-		{"kmeans-first", Options{Seed: 1}, 300},
-		{"kmeans-random", Options{Seed: 2, Selection: SelectRandom}, 300},
-		{"kmeans-centroid", Options{Seed: 3, Selection: SelectCentroid}, 300},
-		{"kmeans-restarts", Options{Seed: 4, Restarts: 3}, 200},
-		{"hierarchical", Options{Seed: 5, Clustering: AlgoHierarchical}, 150},
-		{"subsampled", Options{Seed: 6, ClusterSampleCap: 50}, 400},
-		{"single-invocation", Options{Seed: 7}, 1},
-		{"two-invocations", Options{Seed: 8}, 2},
+		// MinParallelWork: 1 forces the pool on even these small fixtures so
+		// the parallel sweep path itself is what gets compared; the
+		// work-gated default (which routes sweeps this small inline) is
+		// covered by TestSelectWorkGateMatchesForcedPool below.
+		{"kmeans-first", Options{Seed: 1, MinParallelWork: 1}, 300},
+		{"kmeans-random", Options{Seed: 2, Selection: SelectRandom, MinParallelWork: 1}, 300},
+		{"kmeans-centroid", Options{Seed: 3, Selection: SelectCentroid, MinParallelWork: 1}, 300},
+		{"kmeans-restarts", Options{Seed: 4, Restarts: 3, MinParallelWork: 1}, 200},
+		{"hierarchical", Options{Seed: 5, Clustering: AlgoHierarchical, MinParallelWork: 1}, 150},
+		{"subsampled", Options{Seed: 6, ClusterSampleCap: 50, MinParallelWork: 1}, 400},
+		{"single-invocation", Options{Seed: 7, MinParallelWork: 1}, 1},
+		{"two-invocations", Options{Seed: 8, MinParallelWork: 1}, 2},
+		{"work-gated-default", Options{Seed: 9}, 300},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -88,6 +93,27 @@ func TestSelectInvalidParallelismAndRestarts(t *testing.T) {
 	}
 	if _, err := Select(features, golden, Options{Restarts: -1}); err == nil {
 		t.Fatal("want error for negative restarts")
+	}
+	if _, err := Select(features, golden, Options{MinParallelWork: -5}); err == nil {
+		t.Fatal("want error for negative MinParallelWork")
+	}
+}
+
+// TestSelectWorkGateMatchesForcedPool proves the work-size gate is purely a
+// scheduling decision: routing a sweep inline (high threshold) and forcing
+// it onto the pool (threshold 1) produce identical results.
+func TestSelectWorkGateMatchesForcedPool(t *testing.T) {
+	features, golden := synthFeatures(11, 350)
+	inline, err := Select(features, golden, Options{Seed: 11, Parallelism: 4, MinParallelWork: 1 << 62})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := Select(features, golden, Options{Seed: 11, Parallelism: 4, MinParallelWork: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(inline, pooled) {
+		t.Fatalf("work-gated inline sweep diverges from forced pool (k %d vs %d)", inline.K, pooled.K)
 	}
 }
 

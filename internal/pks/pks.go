@@ -98,6 +98,15 @@ func (a ClusteringAlgo) String() string {
 // dendrogram is O(n²) in space and worse in time).
 const HierarchicalSampleCap = 400
 
+// DefaultMinParallelWork is the estimated sweep size (point-coordinate
+// operations: fit points × dims × Lloyd iterations × Σk × restarts) below
+// which the k-sweep runs inline instead of fanning out to a worker pool.
+// Benchmarks on the default fixture put the crossover around a few million
+// point-ops: below that, goroutine + scheduling overhead costs more than the
+// sweep itself (this is why the pre-overhaul parallel PKS lost to
+// sequential). Tunable via Options.MinParallelWork.
+const DefaultMinParallelWork = 4 << 20
+
 // Options configures a PKS run.
 type Options struct {
 	// MaxK caps the k-means sweep (DefaultMaxK if zero).
@@ -125,6 +134,12 @@ type Options struct {
 	// Restarts is the per-k k-means restart count forwarded to the
 	// clustering layer (default 1, the original PKS behaviour).
 	Restarts int
+	// MinParallelWork is the estimated sweep cost (in point-coordinate
+	// operations) below which the k-sweep ignores Parallelism and runs
+	// inline — small sweeps lose more to goroutine and channel overhead
+	// than they gain from concurrency. 0 selects DefaultMinParallelWork;
+	// negative is an error. Set to 1 to force the pool on any sweep.
+	MinParallelWork int64
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -162,6 +177,12 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.Restarts < 0 {
 		return o, fmt.Errorf("pks: negative restarts %d", o.Restarts)
+	}
+	if o.MinParallelWork == 0 {
+		o.MinParallelWork = DefaultMinParallelWork
+	}
+	if o.MinParallelWork < 0 {
+		return o, fmt.Errorf("pks: negative MinParallelWork %d", o.MinParallelWork)
 	}
 	switch o.Clustering {
 	case AlgoKMeans:
@@ -272,22 +293,41 @@ func SelectContext(ctx context.Context, features [][]float64, goldenCycles []flo
 		clusterings = cuts
 	}
 
+	// The k-means candidates all iterate over the same fitting sample, so it
+	// is flattened once; each sweep lane then reuses one cluster.Scratch
+	// across every k it runs, keeping the sweep allocation-free outside
+	// result materialization.
+	var fitDS *cluster.Dataset
+	if opts.Clustering == AlgoKMeans {
+		fitDS, err = cluster.NewDataset(fitSet)
+		if err != nil {
+			return nil, fmt.Errorf("pks: %w", err)
+		}
+	}
+
 	// Sweep k = 1..maxK. Each candidate's randomness flows through an RNG
 	// derived only from the caller's seed and k itself, so the candidates are
 	// independent and can run on a bounded worker pool without changing a
 	// single byte of the outcome relative to the sequential sweep.
+	//
+	// Whether the pool pays is decided by an up-front work estimate
+	// (point-coordinate operations across the whole sweep): small sweeps run
+	// inline because goroutine + scheduling overhead would dominate them.
 	candidates := make([]*Result, maxK+1)
 	errsByK := make([]float64, maxK+1)
 	failures := make([]error, maxK+1)
-	clusterPar := 1 // the sweep already occupies the workers
 	workers := opts.Parallelism
 	if workers > maxK {
 		workers = maxK
 	}
+	if sweepWork(fitSet, opts, maxK) < opts.MinParallelWork {
+		workers = 1
+	}
+	clusterPar := 1 // the sweep already occupies the workers
 	if workers <= 1 {
 		clusterPar = opts.Parallelism // sequential sweep: restarts may fan out
 	}
-	runK := func(k int) {
+	runK := func(k int, scratch *cluster.Scratch) {
 		_, ksp := obs.StartSpan(ctx, "pks.k")
 		defer ksp.End()
 		ksp.SetAttr("k", k)
@@ -295,10 +335,10 @@ func SelectContext(ctx context.Context, features [][]float64, goldenCycles []flo
 		km := clusterings[k]
 		if km == nil {
 			var err error
-			km, err = cluster.KMeans(fitSet, cluster.Config{
+			km, err = cluster.KMeansDataset(fitDS, cluster.Config{
 				K: k, Rng: rng, MaxIterations: opts.MaxIterations,
 				Restarts: opts.Restarts, Parallelism: clusterPar,
-			})
+			}, scratch)
 			if err != nil {
 				failures[k] = fmt.Errorf("pks: k=%d: %w", k, err)
 				return
@@ -309,12 +349,16 @@ func SelectContext(ctx context.Context, features [][]float64, goldenCycles []flo
 		errsByK[k] = distortion(res, goldenCycles, goldenTotal)
 		ksp.SetAttr("distortion", errsByK[k])
 	}
+	if sp.Active() {
+		sp.SetAttr("sweep_workers", workers)
+	}
 	if workers <= 1 {
+		scratch := &cluster.Scratch{}
 		for k := 1; k <= maxK; k++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			runK(k)
+			runK(k, scratch)
 		}
 	} else {
 		// Workers pull candidate k values from a shared counter and check ctx
@@ -326,12 +370,13 @@ func SelectContext(ctx context.Context, features [][]float64, goldenCycles []flo
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				scratch := &cluster.Scratch{}
 				for ctx.Err() == nil {
 					k := int(nextK.Add(1))
 					if k > maxK {
 						return
 					}
-					runK(k)
+					runK(k, scratch)
 				}
 			}()
 		}
@@ -360,6 +405,21 @@ func SelectContext(ctx context.Context, features [][]float64, goldenCycles []flo
 		sp.SetAttr("distortion", best.KSelectionError)
 	}
 	return best, nil
+}
+
+// sweepWork estimates the k-sweep's cost in point-coordinate operations:
+// every candidate k runs up to MaxIterations Lloyd passes over the fitting
+// sample, each touching n·dim·k coordinates, per restart. The estimate is an
+// upper bound (Lloyd usually converges early), which is the right bias for a
+// parallelize/inline decision: an overestimate occasionally fans out work
+// that would have been fine inline, never the reverse.
+func sweepWork(fitSet [][]float64, opts Options, maxK int) int64 {
+	if len(fitSet) == 0 {
+		return 0
+	}
+	sumK := int64(maxK) * int64(maxK+1) / 2
+	return int64(len(fitSet)) * int64(len(fitSet[0])) *
+		int64(opts.MaxIterations) * sumK * int64(opts.Restarts)
 }
 
 // distortion is the per-invocation representativeness error of a clustering:
@@ -499,12 +559,24 @@ func nearestMember(points [][]float64, members []int, target []float64) int {
 	return best
 }
 
-// nearestCentroid returns the index of the centroid closest to p.
+// nearestCentroid returns the index of the centroid closest to p. Distance
+// accumulation aborts as soon as the partial sum reaches the best distance so
+// far; pruning can only discard candidates whose full distance is ≥ the
+// incumbent's, so the argmin (and the strict-< first-wins tie break) is
+// identical to the exhaustive scan.
 func nearestCentroid(p []float64, centroids [][]float64) int {
 	best, bestD := 0, math.Inf(1)
 	for c, cent := range centroids {
-		if d := sqDist(p, cent); d < bestD {
-			best, bestD = c, d
+		var acc float64
+		for j, v := range cent {
+			diff := p[j] - v
+			acc += diff * diff
+			if acc >= bestD {
+				break
+			}
+		}
+		if acc < bestD {
+			best, bestD = c, acc
 		}
 	}
 	return best
