@@ -42,9 +42,11 @@ func main() {
 		cacheEntries  = flag.Int("cache", 128, "plan cache capacity (content-hash-addressed LRU entries)")
 		drain         = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain window for in-flight runs")
 		withPprof     = flag.Bool("pprof", false, "expose the net/http/pprof profiling handlers under /debug/pprof/")
+		batchItems    = flag.Int("max-batch-items", 0, "item limit per POST /v1/batch request (0 = default 64)")
 		parallelism   = cliflags.Parallelism(flag.CommandLine)
 		logLevel      = cliflags.LogLevel(flag.CommandLine)
 	)
+	peers, self := cliflags.Peers(flag.CommandLine)
 	flag.Parse()
 	logger := cliflags.MustLogger("sieved", *logLevel)
 	if err := run(*addr, server.Config{
@@ -52,16 +54,23 @@ func main() {
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   int64(*maxBodyMB) << 20,
 		CacheEntries:   *cacheEntries,
+		MaxBatchItems:  *batchItems,
 		Parallelism:    *parallelism,
 		Logger:         logger,
-	}, *drain, *withPprof, logger); err != nil {
+	}, *self, *peers, *drain, *withPprof, logger); err != nil {
 		logger.Error("exiting", "error", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cfg server.Config, drain time.Duration, withPprof bool, logger *slog.Logger) error {
+func run(addr string, cfg server.Config, self, peers string, drain time.Duration, withPprof bool, logger *slog.Logger) error {
 	s := server.New(cfg)
+	if peerList := server.SplitPeers(peers); len(peerList) > 0 {
+		if err := s.SetPeers(self, peerList); err != nil {
+			return fmt.Errorf("configure shard ring: %w", err)
+		}
+		logger.Info("shard ring configured", "self", self, "peers", peerList)
+	}
 	s.Metrics().Publish("sieved")
 	handler := s.Handler()
 	if withPprof {

@@ -27,6 +27,8 @@ const (
 	streamHelp      = "use the bounded-memory streaming sampler (single pass, per-kernel reservoirs)"
 	reservoirHelp   = "rows retained per kernel in -stream mode (0 = default)"
 	logLevelHelp    = "structured-log level: debug, info, warn or error"
+	peersHelp       = "comma-separated base URLs of the sieved replica set for consistent-hash shard routing (empty = single node)"
+	selfHelp        = "this replica's own advertised base URL, as the other replicas reach it (required with -peers)"
 	reportHelp      = "write an observability report (per-stage spans, counters, histograms) as JSON to this file ('-' = stdout)"
 	traceOutHelp    = "write the recorded stage spans as Chrome trace_viewer trace-event JSON to this file (open via chrome://tracing or ui.perfetto.dev)"
 )
@@ -71,6 +73,12 @@ func Arch(fs *flag.FlagSet) *string {
 // Stream registers the shared -stream / -reservoir streaming-mode pair.
 func Stream(fs *flag.FlagSet) (stream *bool, reservoir *int) {
 	return fs.Bool("stream", false, streamHelp), fs.Int("reservoir", 0, reservoirHelp)
+}
+
+// Peers registers the shared -peers / -self replica-set pair for the sieved
+// shard ring.
+func Peers(fs *flag.FlagSet) (peers, self *string) {
+	return fs.String("peers", "", peersHelp), fs.String("self", "", selfHelp)
 }
 
 // LogLevel registers the shared -log-level flag.

@@ -62,6 +62,26 @@ func TestScaleHelpMentionsPerExperimentDefault(t *testing.T) {
 	}
 }
 
+func TestPeersRegistrar(t *testing.T) {
+	fs := newSet()
+	peers, self := Peers(fs)
+	if err := fs.Parse([]string{"-peers", "http://a:1,http://b:2", "-self", "http://a:1"}); err != nil {
+		t.Fatal(err)
+	}
+	if *peers != "http://a:1,http://b:2" || *self != "http://a:1" {
+		t.Fatalf("parsed peers=%q self=%q", *peers, *self)
+	}
+	// Defaults: single-node operation.
+	fs2 := newSet()
+	p2, s2 := Peers(fs2)
+	if err := fs2.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *p2 != "" || *s2 != "" {
+		t.Fatalf("defaults peers=%q self=%q, want empty", *p2, *s2)
+	}
+}
+
 func TestSharedRegistrars(t *testing.T) {
 	fs := newSet()
 	seed := Seed(fs)

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// BatchRequest is the wire form of POST /v1/batch: stratify many profiles in
+// one request. Each item is a full SampleRequest, so a batch can mix CSV and
+// workload sources and vary options per item.
+type BatchRequest struct {
+	Items []SampleRequest `json:"items"`
+}
+
+// BatchItemResult is the per-item envelope inside a batch response: the
+// plan's envelope on success, an HTTP-style status plus error otherwise.
+// Items fail independently — one malformed profile does not sink its
+// siblings.
+type BatchItemResult struct {
+	// Status is the item's HTTP-equivalent status (200 on success, else the
+	// code /v1/sample would have answered).
+	Status int `json:"status"`
+	// PlanID is the item's content hash (set whenever the item resolved).
+	PlanID string `json:"plan_id,omitempty"`
+	// Cached reports the plan was served from the cache without computing.
+	Cached bool `json:"cached,omitempty"`
+	// Coalesced reports the item joined another request's in-flight
+	// computation instead of starting its own.
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Plan is the marshaled plan document (success only).
+	Plan json.RawMessage `json:"plan,omitempty"`
+	// Error carries the failure detail (non-2xx only).
+	Error string `json:"error,omitempty"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.metrics.Requests.Add(1)
+	status := s.serveBatch(w, r)
+	s.metrics.observe(status, time.Since(start))
+}
+
+// serveBatch answers POST /v1/batch: one scheduler pass over many profiles.
+// The whole batch acquires a single worker slot — admission control is
+// amortized over the items, which is the shape pilot/refine methodologies
+// need — and each item still reuses the plan cache and the in-flight
+// coalescing table, so a batch racing identical single requests computes
+// each plan once. Item envelopes are streamed (and flushed) as they
+// complete, so a long batch delivers results incrementally.
+func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) int {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		return s.writeError(w, err)
+	}
+	var breq BatchRequest
+	if err := json.Unmarshal(body, &breq); err != nil {
+		return s.writeError(w, badRequest{fmt.Errorf("decode batch request: %w", err)})
+	}
+	if len(breq.Items) == 0 {
+		return s.writeError(w, badRequest{errors.New("batch has no items")})
+	}
+	if len(breq.Items) > s.cfg.MaxBatchItems {
+		return s.writeError(w, badRequest{fmt.Errorf("batch has %d items, limit is %d", len(breq.Items), s.cfg.MaxBatchItems)})
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	release, err := s.acquireSlot(ctx)
+	if err != nil {
+		return s.writeError(w, err)
+	}
+	defer release()
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	_, _ = io.WriteString(w, `{"items":[`)
+	for i := range breq.Items {
+		if i > 0 {
+			_, _ = io.WriteString(w, ",")
+		}
+		item := s.batchItem(ctx, &breq.Items[i])
+		buf, err := json.Marshal(item)
+		if err != nil {
+			buf = []byte(`{"status":500,"error":"marshal item result"}`)
+		}
+		_, _ = w.Write(buf)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	_, _ = io.WriteString(w, "]}\n")
+	return http.StatusOK
+}
+
+// batchItem resolves and answers one batch item under the batch's already-
+// held worker slot (needSlot=false in computePlan). Cache hits and
+// coalesced joins count toward the same metrics as single requests;
+// batch_items tracks the item volume itself.
+func (s *Server) batchItem(ctx context.Context, req *SampleRequest) BatchItemResult {
+	s.metrics.BatchItems.Add(1)
+	rv, err := s.resolve(req)
+	if err != nil {
+		s.metrics.Failures.Add(1)
+		return BatchItemResult{Status: statusFor(err), Error: err.Error()}
+	}
+	id := rv.key("sample")
+	if doc, ok := s.cache.get(id); ok {
+		s.metrics.CacheHits.Add(1)
+		return BatchItemResult{Status: http.StatusOK, PlanID: id, Cached: true, Plan: doc}
+	}
+	s.metrics.CacheMisses.Add(1)
+	doc, shared, err := s.computePlan(ctx, id, false, rv)
+	if err != nil {
+		s.metrics.Failures.Add(1)
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Warn("batch item failed", "status", statusFor(err), "error", err.Error())
+		}
+		return BatchItemResult{Status: statusFor(err), PlanID: id, Error: err.Error()}
+	}
+	return BatchItemResult{Status: http.StatusOK, PlanID: id, Coalesced: shared, Plan: doc}
+}

@@ -1,0 +1,82 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestCacheConcurrentPutGet hammers the LRU from many goroutines under
+// -race: concurrent puts, gets and len calls over a key space larger than
+// the capacity, so insertion, promotion and eviction all interleave. Every
+// successful get must return exactly the bytes put for that key.
+func TestCacheConcurrentPutGet(t *testing.T) {
+	const (
+		capacity   = 8
+		keys       = 32
+		goroutines = 16
+		rounds     = 200
+	)
+	c := newPlanCache(capacity)
+	body := func(k int) []byte { return []byte(fmt.Sprintf("plan-%d", k)) }
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				k := (g*rounds + r) % keys
+				id := fmt.Sprintf("key-%d", k)
+				switch r % 3 {
+				case 0:
+					c.put(id, body(k))
+				case 1:
+					if doc, ok := c.get(id); ok && !bytes.Equal(doc, body(k)) {
+						t.Errorf("get(%s) = %q, want %q", id, doc, body(k))
+					}
+				default:
+					if n := c.len(); n < 0 || n > capacity {
+						t.Errorf("len = %d, want 0..%d", n, capacity)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.len(); n != capacity {
+		t.Fatalf("final len = %d, want %d (saturated)", n, capacity)
+	}
+}
+
+// TestCacheRefreshKeepsOneEntry: re-putting an existing key must refresh in
+// place, not duplicate, and serve the newest bytes.
+func TestCacheRefreshKeepsOneEntry(t *testing.T) {
+	c := newPlanCache(4)
+	c.put("a", []byte("v1"))
+	c.put("a", []byte("v2"))
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+	doc, ok := c.get("a")
+	if !ok || string(doc) != "v2" {
+		t.Fatalf("get = %q %v, want v2", doc, ok)
+	}
+}
+
+// TestCacheLRUOrderUnderGets: a get promotes its entry, so filling past
+// capacity evicts the least recently *used*, not the least recently put.
+func TestCacheLRUOrderUnderGets(t *testing.T) {
+	c := newPlanCache(2)
+	c.put("a", []byte("a"))
+	c.put("b", []byte("b"))
+	c.get("a") // promote a; b is now coldest
+	c.put("c", []byte("c"))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction despite being least recently used")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted despite recent use")
+	}
+}

@@ -21,11 +21,20 @@ const requestSecondsMetric = "sieved_request_seconds"
 // latencies go to a shared obs.Histogram (log-bucketed, lock-free) instead of
 // a bespoke ring: quantiles cover the server's lifetime at constant memory
 // and the same histogram feeds /debug/metrics and the Prometheus exposition.
+// Every terminal response path records latency — errors included — into both
+// the overall histogram and a per-status-class one
+// (sieved_request_seconds_class_4xx, …), so p99 under errors is visible
+// rather than a blind spot.
 type metrics struct {
-	Requests     expvar.Int // sampling/characterization requests accepted
+	Requests     expvar.Int // API requests accepted (sample, characterize, plan get, batch)
 	Failures     expvar.Int // requests answered with a 4xx/5xx
 	CacheHits    expvar.Int // plans served from the content-hash cache
-	CacheMisses  expvar.Int // plans that had to be computed
+	CacheMisses  expvar.Int // plan lookups that missed the cache
+	Computations expvar.Int // sampling runs actually executed (misses minus coalesced/proxied)
+	Coalesced    expvar.Int // requests that joined another request's in-flight computation
+	BatchItems   expvar.Int // items processed across all /v1/batch requests
+	PeerFills    expvar.Int // plans filled into the local cache from a peer replica
+	PeerProxied  expvar.Int // requests proxied to the owning peer replica
 	InFlight     expvar.Int // requests currently holding a worker slot
 	Rejected     expvar.Int // requests that gave up waiting for a slot
 	RowsIngested expvar.Int // profile rows ingested across all requests
@@ -41,7 +50,34 @@ func (m *metrics) registry() *obs.Registry {
 	return m.reg
 }
 
-// observeLatency records one completed request's wall time.
+// statusClass buckets an HTTP status for the latency breakdown. 499
+// (client-abandoned) counts as 4xx: the client gave up, the server did not
+// fail.
+func statusClass(status int) string {
+	switch {
+	case status >= 500:
+		return "5xx"
+	case status >= 400:
+		return "4xx"
+	case status >= 300:
+		return "3xx"
+	default:
+		return "2xx"
+	}
+}
+
+// observe records one terminal response: its wall time into the overall
+// latency histogram and the per-status-class one. Handlers route every exit —
+// success, caller error, timeout, disconnect — through here, so error-path
+// latency shows up in the quantiles instead of only successes.
+func (m *metrics) observe(status int, d time.Duration) {
+	reg := m.registry()
+	reg.Histogram(requestSecondsMetric).ObserveDuration(d)
+	reg.Histogram(requestSecondsMetric + "_class_" + statusClass(status)).ObserveDuration(d)
+}
+
+// observeLatency records one completed request's wall time without a status
+// breakdown (kept for callers that predate observe).
 func (m *metrics) observeLatency(d time.Duration) {
 	m.registry().Histogram(requestSecondsMetric).ObserveDuration(d)
 }
@@ -56,14 +92,18 @@ func (m *metrics) quantiles() (p50, p99 float64) {
 // handler serves the /debug/metrics snapshot. expvar.Int values render as
 // JSON numbers via String(), so the document is assembled directly. The JSON
 // shape (keys and nesting) is a compatibility contract pinned by
-// TestDebugMetricsJSONShape — monitoring dashboards parse it.
+// TestDebugMetricsJSONShape — monitoring dashboards parse it. The counters
+// satisfy cache_hits + cache_misses + failures == requests for the non-batch
+// endpoints (batch adds batch_items on top of its one request).
 func (m *metrics) handler(cacheLen func() int) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		p50, p99 := m.quantiles()
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, `{"requests":%s,"failures":%s,"cache_hits":%s,"cache_misses":%s,"cache_entries":%d,"in_flight":%s,"rejected":%s,"rows_ingested":%s,"latency_ms":{"p50":%g,"p99":%g}}`+"\n",
+		fmt.Fprintf(w, `{"requests":%s,"failures":%s,"cache_hits":%s,"cache_misses":%s,"cache_entries":%d,"computations":%s,"coalesced":%s,"batch_items":%s,"peer_fills":%s,"peer_proxied":%s,"in_flight":%s,"rejected":%s,"rows_ingested":%s,"latency_ms":{"p50":%g,"p99":%g}}`+"\n",
 			m.Requests.String(), m.Failures.String(),
 			m.CacheHits.String(), m.CacheMisses.String(), cacheLen(),
+			m.Computations.String(), m.Coalesced.String(), m.BatchItems.String(),
+			m.PeerFills.String(), m.PeerProxied.String(),
 			m.InFlight.String(), m.Rejected.String(), m.RowsIngested.String(),
 			p50, p99)
 	}
@@ -71,7 +111,8 @@ func (m *metrics) handler(cacheLen func() int) http.HandlerFunc {
 
 // prometheus serves the counters and the latency summary in Prometheus text
 // exposition format (0.0.4): counters and gauges are written directly from
-// the expvar values, the latency summary comes from the shared registry.
+// the expvar values, the latency summaries (overall and per status class)
+// come from the shared registry.
 func (m *metrics) prometheus(cacheLen func() int) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -85,6 +126,11 @@ func (m *metrics) prometheus(cacheLen func() int) http.HandlerFunc {
 		counter("sieved_failures_total", m.Failures.Value())
 		counter("sieved_cache_hits_total", m.CacheHits.Value())
 		counter("sieved_cache_misses_total", m.CacheMisses.Value())
+		counter("sieved_computations_total", m.Computations.Value())
+		counter("sieved_coalesced_total", m.Coalesced.Value())
+		counter("sieved_batch_items_total", m.BatchItems.Value())
+		counter("sieved_peer_fills_total", m.PeerFills.Value())
+		counter("sieved_peer_proxied_total", m.PeerProxied.Value())
 		counter("sieved_rejected_total", m.Rejected.Value())
 		counter("sieved_rows_ingested_total", m.RowsIngested.Value())
 		gauge("sieved_in_flight", m.InFlight.Value())
@@ -101,6 +147,11 @@ func (m *metrics) Publish(name string) {
 	expvar.Publish(name+".failures", &m.Failures)
 	expvar.Publish(name+".cache_hits", &m.CacheHits)
 	expvar.Publish(name+".cache_misses", &m.CacheMisses)
+	expvar.Publish(name+".computations", &m.Computations)
+	expvar.Publish(name+".coalesced", &m.Coalesced)
+	expvar.Publish(name+".batch_items", &m.BatchItems)
+	expvar.Publish(name+".peer_fills", &m.PeerFills)
+	expvar.Publish(name+".peer_proxied", &m.PeerProxied)
 	expvar.Publish(name+".in_flight", &m.InFlight)
 	expvar.Publish(name+".rejected", &m.Rejected)
 	expvar.Publish(name+".rows_ingested", &m.RowsIngested)

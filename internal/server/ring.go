@@ -1,0 +1,242 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// ringVnodes is the number of virtual points each replica contributes to the
+// hash ring. 64 points per node keeps the keyspace split within a few percent
+// of even for small clusters while the ring stays tiny (a handful of replicas
+// × 64 points is a few KB, binary-searched per lookup).
+const ringVnodes = 64
+
+// ring is a consistent-hash ring over replica base URLs: a plan's content
+// hash maps to the first virtual point clockwise, and that point's node owns
+// the plan. Consistent hashing means adding or removing one replica remaps
+// only the keys adjacent to its points instead of reshuffling the whole
+// keyspace, so a rolling restart doesn't stampede every shard's cache.
+//
+// A nil *ring degrades gracefully to single-node operation: the local server
+// owns everything and no request is ever proxied.
+type ring struct {
+	self   string
+	nodes  []string
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// normalizePeerURL canonicalizes a replica base URL for ring membership:
+// whitespace-trimmed, no trailing slash. Hash placement depends on the exact
+// string, so every replica must spell the member list identically.
+func normalizePeerURL(u string) string {
+	return strings.TrimRight(strings.TrimSpace(u), "/")
+}
+
+// splitPeers parses a comma-separated peer list into normalized base URLs,
+// dropping empties and duplicates while preserving first-seen order.
+func splitPeers(csv string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, p := range strings.Split(csv, ",") {
+		p = normalizePeerURL(p)
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+// ringHash hashes a ring placement string (node#vnode or a plan key) to a
+// point on the ring. sha256 keeps placement identical across replicas and
+// architectures; only the first 8 bytes are used.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// newRing builds the ring for self within peers. self is always a member even
+// when absent from peers, so `-peers` may list either every replica or just
+// the others. Fewer than two distinct members means no sharding: newRing
+// returns nil and the caller serves everything locally.
+func newRing(self string, peers []string) (*ring, error) {
+	self = normalizePeerURL(self)
+	members := make([]string, 0, len(peers)+1)
+	seen := make(map[string]bool)
+	add := func(u string) error {
+		u = normalizePeerURL(u)
+		if u == "" || seen[u] {
+			return nil
+		}
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			return fmt.Errorf("peer %q: base URL must start with http:// or https://", u)
+		}
+		seen[u] = true
+		members = append(members, u)
+		return nil
+	}
+	for _, p := range peers {
+		if err := add(p); err != nil {
+			return nil, err
+		}
+	}
+	if len(members) > 0 {
+		if self == "" {
+			return nil, fmt.Errorf("peers configured but self URL is empty: set -self to this replica's base URL")
+		}
+		if err := add(self); err != nil {
+			return nil, err
+		}
+	}
+	if len(members) < 2 {
+		return nil, nil
+	}
+	r := &ring{self: self, nodes: members, points: make([]ringPoint, 0, len(members)*ringVnodes)}
+	for _, node := range members {
+		for v := 0; v < ringVnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", node, v)), node: node})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r, nil
+}
+
+// owner returns the replica owning key: the node of the first ring point at
+// or clockwise after the key's hash, wrapping at the top. A nil ring owns
+// nothing remotely — the local node is always the owner.
+func (r *ring) owner(key string) string {
+	if r == nil || len(r.points) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// ownedElsewhere reports the owning peer URL when key belongs to another
+// replica, and false when this replica owns it (or no ring is configured).
+func (r *ring) ownedElsewhere(key string) (string, bool) {
+	o := r.owner(key)
+	if o == "" || o == r.self {
+		return "", false
+	}
+	return o, true
+}
+
+// forwardedHeader marks a request as already routed by a replica. A receiver
+// always serves a forwarded request locally, so ring disagreement during a
+// membership change cannot bounce a request between replicas forever.
+const forwardedHeader = "X-Sieved-Forwarded"
+
+func isForwarded(r *http.Request) bool { return r.Header.Get(forwardedHeader) != "" }
+
+// planFromEnvelope extracts the raw plan document from a peer's
+// {plan_id, cached, plan} response for a local cache fill. The plan bytes
+// are taken verbatim from the envelope, so the fill is byte-identical to the
+// owner's cached document. A mismatched plan_id (peer confusion) is
+// discarded rather than poisoning the cache.
+func planFromEnvelope(body []byte, id string) []byte {
+	var env struct {
+		PlanID string          `json:"plan_id"`
+		Plan   json.RawMessage `json:"plan"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil || env.PlanID != id || len(env.Plan) == 0 {
+		return nil
+	}
+	return append([]byte(nil), env.Plan...)
+}
+
+// proxySample forwards a resolved sample request to the owning replica and
+// relays its response. It reports ok=false when the owner could not be
+// reached (transport error), in which case the caller computes locally —
+// graceful degradation. A reachable owner's answer is relayed whatever its
+// status, and a successful plan also fills the local cache so the next
+// identical request is a local hit.
+func (s *Server) proxySample(w http.ResponseWriter, ctx context.Context, rv *resolved, id, owner string) (int, bool) {
+	body, err := json.Marshal(rv.req)
+	if err != nil {
+		return 0, false
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	defer cancel()
+	preq, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+"/v1/sample", bytes.NewReader(body))
+	if err != nil {
+		return 0, false
+	}
+	preq.Header.Set("Content-Type", "application/json")
+	preq.Header.Set(forwardedHeader, s.selfURL())
+	resp, err := s.peer.Do(preq)
+	if err != nil {
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Warn("peer proxy failed, computing locally", "owner", owner, "error", err.Error())
+		}
+		return 0, false
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Warn("peer proxy read failed, computing locally", "owner", owner, "error", err.Error())
+		}
+		return 0, false
+	}
+	s.metrics.PeerProxied.Add(1)
+	if resp.StatusCode == http.StatusOK {
+		if doc := planFromEnvelope(respBody, id); doc != nil {
+			s.cache.put(id, doc)
+			s.metrics.PeerFills.Add(1)
+		}
+	} else {
+		s.metrics.Failures.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(respBody)
+	return resp.StatusCode, true
+}
+
+// fetchPlanFromPeer retrieves a cached plan document from the owning replica
+// for a local fill. Any failure — owner down, plan evicted there, malformed
+// envelope — returns nil and the caller answers 404 as a single node would.
+func (s *Server) fetchPlanFromPeer(ctx context.Context, owner, id string) []byte {
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, owner+"/v1/plans/"+id, nil)
+	if err != nil {
+		return nil
+	}
+	req.Header.Set(forwardedHeader, s.selfURL())
+	resp, err := s.peer.Do(req)
+	if err != nil {
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.Warn("peer plan fetch failed", "owner", owner, "error", err.Error())
+		}
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil
+	}
+	return planFromEnvelope(body, id)
+}

@@ -6,7 +6,8 @@
 // Endpoints:
 //
 //	POST /v1/sample        profile CSV (text/csv) or JSON envelope → sampling plan
-//	POST /v1/characterize  same input → per-kernel workload characterization
+//	POST /v1/batch         many profiles in one request → per-item plan envelopes
+//	POST /v1/characterize  same input as /v1/sample → per-kernel workload characterization
 //	GET  /v1/plans/{id}    content-hash-addressed plan lookup
 //	GET  /healthz          liveness
 //	GET  /debug/metrics    expvar counters + latency quantiles (JSON)
@@ -14,13 +15,19 @@
 //
 // Every sampling run is bounded three ways: a worker-slot semaphore caps
 // concurrent compute, a per-request timeout caps each run's wall time, and
-// http.MaxBytesReader caps request bodies. Requests execute under the
-// client's context — a disconnected or timed-out client cancels its
-// stratification workers (SampleContext observes ctx between kernels)
-// instead of pinning GOMAXPROCS goroutines. Plans are cached in a
+// http.MaxBytesReader caps request bodies. Plans are cached in a
 // content-hash-addressed LRU keyed by (profile source, resolved options), so
 // identical requests are computed once and cache hits return byte-identical
 // plan JSON.
+//
+// Concurrent misses on one content hash coalesce onto a single computation
+// through a key-indexed in-flight table: the computation runs detached under
+// its own timeout (a leader's client disconnect does not fail the
+// followers), while each waiting request still honors its own context. With
+// peers configured (SetPeers), a consistent-hash ring routes each content
+// hash to its owning replica — non-owners proxy sample requests to the owner
+// and fetch-and-fill cached plans from it, so the cluster computes each plan
+// once and any replica can serve GET /v1/plans/{id}.
 package server
 
 import (
@@ -39,6 +46,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/gpusampling/sieve"
@@ -57,6 +65,9 @@ type Config struct {
 	MaxBodyBytes int64
 	// CacheEntries bounds the plan LRU (128 if zero).
 	CacheEntries int
+	// MaxBatchItems caps the item count of one POST /v1/batch request (64 if
+	// zero).
+	MaxBatchItems int
 	// Parallelism is the per-request sampling worker default when the
 	// request does not choose its own (0 = GOMAXPROCS).
 	Parallelism int
@@ -79,6 +90,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 128
 	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 64
+	}
 	return c
 }
 
@@ -89,6 +103,13 @@ type Server struct {
 	cache   *planCache
 	metrics metrics
 	mux     *http.ServeMux
+	flights flightGroup
+	shard   atomic.Pointer[ring] // nil = single node, everything local
+	peer    *http.Client
+	// preCompute, when set (tests only), runs at the start of every
+	// coalesced computation before the worker slot is acquired, so tests can
+	// hold a flight open while concurrent requests pile onto it.
+	preCompute func(id string)
 }
 
 // New builds a Server from cfg.
@@ -99,8 +120,11 @@ func New(cfg Config) *Server {
 		slots: make(chan struct{}, cfg.MaxConcurrent),
 		cache: newPlanCache(cfg.CacheEntries),
 		mux:   http.NewServeMux(),
+		peer:  &http.Client{},
 	}
+	s.flights.onJoin = func() { s.metrics.Coalesced.Add(1) }
 	s.mux.HandleFunc("POST /v1/sample", s.handleSample)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/characterize", s.handleCharacterize)
 	s.mux.HandleFunc("GET /v1/plans/{id}", s.handlePlanGet)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -109,6 +133,35 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /debug/metrics", s.metrics.handler(s.cache.len))
 	s.mux.HandleFunc("GET /metrics", s.metrics.prometheus(s.cache.len))
 	return s
+}
+
+// SetPeers (re)configures consistent-hash shard routing over the replica set.
+// self is this replica's advertised base URL; peers lists the others (or the
+// whole set — self is deduplicated in). An empty peer list, or a list that
+// collapses to just self, disables routing: the server degrades gracefully
+// to single-node operation.
+func (s *Server) SetPeers(self string, peers []string) error {
+	r, err := newRing(self, peers)
+	if err != nil {
+		return err
+	}
+	s.shard.Store(r)
+	return nil
+}
+
+// SplitPeers parses a comma-separated -peers flag value into normalized base
+// URLs for SetPeers.
+func SplitPeers(csv string) []string { return splitPeers(csv) }
+
+func (s *Server) shardRing() *ring { return s.shard.Load() }
+
+// selfURL is this replica's advertised base URL ("" when no ring is
+// configured).
+func (s *Server) selfURL() string {
+	if r := s.shardRing(); r != nil {
+		return r.self
+	}
+	return ""
 }
 
 // statusRecorder captures the response status for the access log.
@@ -120,6 +173,16 @@ type statusRecorder struct {
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards http.Flusher so handlers that stream — the per-item batch
+// envelopes — still flush when wrapped by the access logger. Without this
+// the wrapper swallows the interface and streamed responses buffer until the
+// handler returns.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // Handler returns the routed handler, wrapped in structured access logging
@@ -155,7 +218,9 @@ type RequestOptions struct {
 	// Splitter is kde (default), equal-width or gmm.
 	Splitter string `json:"splitter,omitempty"`
 	// Parallelism is the per-request sampling worker count, capped by the
-	// server's configured default.
+	// server's configured default. Plans are byte-identical at any worker
+	// count, so this is a scheduling knob only: it does not participate in
+	// the plan's content hash.
 	Parallelism int `json:"parallelism,omitempty"`
 	// Stream selects the bounded-memory streaming sampler.
 	Stream bool `json:"stream,omitempty"`
@@ -169,7 +234,8 @@ type RequestOptions struct {
 }
 
 // SampleRequest is the JSON envelope accepted by /v1/sample and
-// /v1/characterize. Exactly one of ProfileCSV and Workload must be set.
+// /v1/characterize, and the per-item shape inside /v1/batch. Exactly one of
+// ProfileCSV and Workload must be set.
 type SampleRequest struct {
 	// ProfileCSV is an inline profile table in the WriteProfileCSV format.
 	ProfileCSV string `json:"profile_csv,omitempty"`
@@ -219,13 +285,16 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func (s *Server) writeError(w http.ResponseWriter, err error) {
+// writeError answers a failed request and returns the status it wrote, so
+// handlers can report it to the latency breakdown.
+func (s *Server) writeError(w http.ResponseWriter, err error) int {
 	s.metrics.Failures.Add(1)
 	status := statusFor(err)
 	if s.cfg.Logger != nil {
 		s.cfg.Logger.Warn("request failed", "status", status, "error", err.Error())
 	}
 	writeJSON(w, status, map[string]string{"error": err.Error()})
+	return status
 }
 
 // decodeRequest reads the bounded body and normalizes both accepted shapes —
@@ -356,12 +425,16 @@ func (s *Server) resolve(req *SampleRequest) (*resolved, error) {
 }
 
 // key returns the content hash addressing this request's plan: every
-// resolved option plus the profile source. Identical profile+options pairs
-// collapse onto one cache entry.
+// plan-affecting resolved option plus the profile source. Identical
+// profile+options pairs collapse onto one cache entry. Parallelism is
+// deliberately excluded — plans are byte-identical across worker counts, so
+// hashing the scheduling knob would fragment the LRU into recomputations of
+// identical plans (and make the hash disagree across replicas with different
+// worker budgets).
 func (rv *resolved) key(kind string) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "%s|theta=%g|sel=%d|split=%d|par=%d|stream=%v|res=%d|seed=%d|arch=%s|",
-		kind, rv.opts.Theta, rv.opts.Selection, rv.opts.Tier3Splitter, rv.opts.Parallelism,
+	fmt.Fprintf(h, "%s|theta=%g|sel=%d|split=%d|stream=%v|res=%d|seed=%d|arch=%s|",
+		kind, rv.opts.Theta, rv.opts.Selection, rv.opts.Tier3Splitter,
 		rv.req.Options.Stream, rv.stream.ReservoirSize, rv.stream.Seed, rv.arch)
 	if rv.req.ProfileCSV != "" {
 		io.WriteString(h, "csv|")
@@ -509,50 +582,92 @@ func respondDocument(w http.ResponseWriter, id string, cached bool, doc []byte) 
 	_, _ = w.Write(buf.Bytes())
 }
 
+// computePlan produces the marshaled plan for id, coalescing concurrent
+// misses on the same content hash onto one computation via the in-flight
+// table. The computation runs detached under its own RequestTimeout-bounded
+// context, so one client's disconnect cannot fail the requests coalesced
+// behind it; ctx still cancels this caller's wait individually. needSlot is
+// false when the caller already holds a worker slot (the batch path, which
+// acquires one slot for all its items). shared reports whether this call
+// joined an already-running flight.
+func (s *Server) computePlan(ctx context.Context, id string, needSlot bool, rv *resolved) (doc []byte, shared bool, err error) {
+	res, shared, err := s.flights.do(ctx, id, func() flightResult {
+		if gate := s.preCompute; gate != nil {
+			gate(id)
+		}
+		cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), s.cfg.RequestTimeout)
+		defer cancel()
+		if needSlot {
+			release, err := s.acquireSlot(cctx)
+			if err != nil {
+				return flightResult{err: err}
+			}
+			defer release()
+		}
+		s.metrics.Computations.Add(1)
+		plan, err := rv.samplePlan(cctx)
+		if err != nil {
+			return flightResult{err: err}
+		}
+		doc, err := marshalPlan(plan)
+		if err != nil {
+			return flightResult{err: err}
+		}
+		s.metrics.RowsIngested.Add(int64(plan.TierInvocations[0] + plan.TierInvocations[1] + plan.TierInvocations[2]))
+		s.cache.put(id, doc)
+		return flightResult{doc: doc}
+	})
+	if err != nil {
+		return nil, shared, err
+	}
+	return res.doc, shared, res.err
+}
+
 func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.metrics.Requests.Add(1)
+	status := s.serveSample(w, r)
+	s.metrics.observe(status, time.Since(start))
+}
+
+// serveSample answers POST /v1/sample and returns the terminal HTTP status,
+// so the wrapper can record latency for every outcome, errors included.
+func (s *Server) serveSample(w http.ResponseWriter, r *http.Request) int {
 	req, err := s.decodeRequest(w, r)
 	if err != nil {
-		s.writeError(w, err)
-		return
+		return s.writeError(w, err)
 	}
 	rv, err := s.resolve(req)
 	if err != nil {
-		s.writeError(w, err)
-		return
+		return s.writeError(w, err)
 	}
 	id := rv.key("sample")
 	if doc, ok := s.cache.get(id); ok {
 		s.metrics.CacheHits.Add(1)
 		respondDocument(w, id, true, doc)
-		s.metrics.observeLatency(time.Since(start))
-		return
+		return http.StatusOK
 	}
 	s.metrics.CacheMisses.Add(1)
 
+	// Shard routing: a miss on a hash another replica owns is proxied there,
+	// so the cluster computes each plan exactly once. Forwarded requests are
+	// always served locally (loop prevention), and an unreachable owner
+	// degrades to local compute — a dead peer costs latency, not
+	// availability.
+	if owner, ok := s.shardRing().ownedElsewhere(id); ok && !isForwarded(r) {
+		if status, ok := s.proxySample(w, r.Context(), rv, id, owner); ok {
+			return status
+		}
+	}
+
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	release, err := s.acquireSlot(ctx)
+	doc, _, err := s.computePlan(ctx, id, true, rv)
 	if err != nil {
-		s.writeError(w, err)
-		return
+		return s.writeError(w, err)
 	}
-	plan, err := rv.samplePlan(ctx)
-	release()
-	if err != nil {
-		s.writeError(w, err)
-		return
-	}
-	doc, err := marshalPlan(plan)
-	if err != nil {
-		s.writeError(w, err)
-		return
-	}
-	s.metrics.RowsIngested.Add(int64(plan.TierInvocations[0] + plan.TierInvocations[1] + plan.TierInvocations[2]))
-	s.cache.put(id, doc)
 	respondDocument(w, id, false, doc)
-	s.metrics.observeLatency(time.Since(start))
+	return http.StatusOK
 }
 
 // kernelSummaryJSON is the wire form of one kernel characterization row.
@@ -572,36 +687,36 @@ type kernelSummaryJSON struct {
 func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	s.metrics.Requests.Add(1)
+	status := s.serveCharacterize(w, r)
+	s.metrics.observe(status, time.Since(start))
+}
+
+func (s *Server) serveCharacterize(w http.ResponseWriter, r *http.Request) int {
 	req, err := s.decodeRequest(w, r)
 	if err != nil {
-		s.writeError(w, err)
-		return
+		return s.writeError(w, err)
 	}
 	rv, err := s.resolve(req)
 	if err != nil {
-		s.writeError(w, err)
-		return
+		return s.writeError(w, err)
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	release, err := s.acquireSlot(ctx)
 	if err != nil {
-		s.writeError(w, err)
-		return
+		return s.writeError(w, err)
 	}
 	defer release()
 	rows, err := rv.rows(ctx)
 	if err != nil {
-		s.writeError(w, err)
-		return
+		return s.writeError(w, err)
 	}
 	sums, err := sieve.CharacterizeContext(ctx, rows, rv.opts.Theta)
 	if err != nil {
 		if rv.req.ProfileCSV != "" && statusFor(err) == http.StatusInternalServerError {
 			err = badRequest{err}
 		}
-		s.writeError(w, err)
-		return
+		return s.writeError(w, err)
 	}
 	s.metrics.RowsIngested.Add(int64(len(rows)))
 	out := make([]kernelSummaryJSON, len(sums))
@@ -614,17 +729,36 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"kernels": out})
-	s.metrics.observeLatency(time.Since(start))
+	return http.StatusOK
 }
 
 func (s *Server) handlePlanGet(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.metrics.Requests.Add(1)
+	status := s.servePlanGet(w, r)
+	s.metrics.observe(status, time.Since(start))
+}
+
+// servePlanGet answers GET /v1/plans/{id}: from the local cache when
+// possible, otherwise fetched-and-filled from the owning peer replica, so
+// any replica serves any cluster-cached plan.
+func (s *Server) servePlanGet(w http.ResponseWriter, r *http.Request) int {
 	id := r.PathValue("id")
-	doc, ok := s.cache.get(id)
-	if !ok {
-		s.metrics.Failures.Add(1)
-		writeJSON(w, http.StatusNotFound, map[string]string{"error": "plan not cached (recompute via POST /v1/sample)"})
-		return
+	if doc, ok := s.cache.get(id); ok {
+		s.metrics.CacheHits.Add(1)
+		respondDocument(w, id, true, doc)
+		return http.StatusOK
 	}
-	s.metrics.CacheHits.Add(1)
-	respondDocument(w, id, true, doc)
+	if owner, ok := s.shardRing().ownedElsewhere(id); ok && !isForwarded(r) {
+		if doc := s.fetchPlanFromPeer(r.Context(), owner, id); doc != nil {
+			s.cache.put(id, doc)
+			s.metrics.PeerFills.Add(1)
+			s.metrics.CacheHits.Add(1)
+			respondDocument(w, id, true, doc)
+			return http.StatusOK
+		}
+	}
+	s.metrics.Failures.Add(1)
+	writeJSON(w, http.StatusNotFound, map[string]string{"error": "plan not cached (recompute via POST /v1/sample)"})
+	return http.StatusNotFound
 }

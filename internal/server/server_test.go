@@ -81,6 +81,11 @@ type metricsDoc struct {
 	CacheHits    int64 `json:"cache_hits"`
 	CacheMisses  int64 `json:"cache_misses"`
 	CacheEntries int   `json:"cache_entries"`
+	Computations int64 `json:"computations"`
+	Coalesced    int64 `json:"coalesced"`
+	BatchItems   int64 `json:"batch_items"`
+	PeerFills    int64 `json:"peer_fills"`
+	PeerProxied  int64 `json:"peer_proxied"`
 	InFlight     int64 `json:"in_flight"`
 	Rejected     int64 `json:"rejected"`
 	RowsIngested int64 `json:"rows_ingested"`
@@ -399,12 +404,46 @@ func TestParallelismCappedByServer(t *testing.T) {
 
 // TestDebugMetricsJSONShape pins the /debug/metrics document's exact key set
 // and nesting: dashboards parse this JSON, so replacing the latency backend
-// (ring buffer → shared obs.Histogram) must not move a single key.
+// (ring buffer → shared obs.Histogram) must not move a single key. It also
+// pins the counter arithmetic: every non-batch API request — plan GETs
+// included — counts toward requests, so in this scenario
+// cache_hits + cache_misses + failures == requests exactly.
 func TestDebugMetricsJSONShape(t *testing.T) {
 	ts := newTestServer(t, Config{})
-	if status, _ := postCSV(t, ts.URL+"/v1/sample", testCSV()); status != http.StatusOK {
+	status, body := postCSV(t, ts.URL+"/v1/sample", testCSV())
+	if status != http.StatusOK {
 		t.Fatalf("sample status %d", status)
 	}
+	var env sampleEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	// One plan-cache hit via GET and one 404: both must count as requests.
+	var discard sampleEnvelope
+	if status := getJSON(t, ts.URL+"/v1/plans/"+env.PlanID, &discard); status != http.StatusOK {
+		t.Fatalf("plan get status %d", status)
+	}
+	var errDoc map[string]string
+	if status := getJSON(t, ts.URL+"/v1/plans/deadbeef", &errDoc); status != http.StatusNotFound {
+		t.Fatalf("missing plan status %d, want 404", status)
+	}
+
+	var m metricsDoc
+	if status := getJSON(t, ts.URL+"/debug/metrics", &m); status != http.StatusOK {
+		t.Fatalf("metrics status %d", status)
+	}
+	if m.Requests != 3 {
+		t.Fatalf("requests = %d, want 3 (sample + plan hit + plan 404)", m.Requests)
+	}
+	if got := m.CacheHits + m.CacheMisses + m.Failures; got != m.Requests {
+		t.Fatalf("cache_hits(%d) + cache_misses(%d) + failures(%d) = %d, want requests = %d",
+			m.CacheHits, m.CacheMisses, m.Failures, got, m.Requests)
+	}
+	if m.CacheHits != 1 || m.CacheMisses != 1 || m.Failures != 1 || m.Computations != 1 {
+		t.Fatalf("hits/misses/failures/computations = %d/%d/%d/%d, want 1/1/1/1",
+			m.CacheHits, m.CacheMisses, m.Failures, m.Computations)
+	}
+
 	resp, err := http.Get(ts.URL + "/debug/metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -416,6 +455,7 @@ func TestDebugMetricsJSONShape(t *testing.T) {
 	}
 	want := []string{
 		"requests", "failures", "cache_hits", "cache_misses", "cache_entries",
+		"computations", "coalesced", "batch_items", "peer_fills", "peer_proxied",
 		"in_flight", "rejected", "rows_ingested", "latency_ms",
 	}
 	for _, k := range want {
@@ -511,6 +551,96 @@ func TestRequestLogging(t *testing.T) {
 	}
 	if _, ok := first["duration_ms"].(float64); !ok {
 		t.Fatalf("access line missing duration_ms: %v", first)
+	}
+}
+
+// TestParallelismNotInCacheKey is the regression test for the plan-cache
+// fragmentation bug: plans are byte-identical across worker counts (proven
+// since PR 1), so two requests differing only in parallelism must share one
+// cache entry and one computation. Config.Parallelism is left high enough
+// that 2 and 4 resolve to genuinely different worker counts — before the
+// fix, that fragmented the LRU into two entries and two computations.
+func TestParallelismNotInCacheKey(t *testing.T) {
+	ts := newTestServer(t, Config{Parallelism: 8})
+	csv := testCSV()
+
+	status, body1 := postCSV(t, ts.URL+"/v1/sample?parallelism=2", csv)
+	if status != http.StatusOK {
+		t.Fatalf("first POST status = %d, body %s", status, body1)
+	}
+	status, body2 := postCSV(t, ts.URL+"/v1/sample?parallelism=4", csv)
+	if status != http.StatusOK {
+		t.Fatalf("second POST status = %d, body %s", status, body2)
+	}
+	var env1, env2 sampleEnvelope
+	if err := json.Unmarshal(body1, &env1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(body2, &env2); err != nil {
+		t.Fatal(err)
+	}
+	if env1.PlanID != env2.PlanID {
+		t.Fatalf("parallelism fragments the content hash: %s vs %s", env1.PlanID, env2.PlanID)
+	}
+	if !env2.Cached {
+		t.Fatal("request differing only in parallelism missed the cache")
+	}
+	if string(env1.Plan) != string(env2.Plan) {
+		t.Fatal("plans differ across parallelism — cache sharing would be unsound")
+	}
+	var m metricsDoc
+	getJSON(t, ts.URL+"/debug/metrics", &m)
+	if m.Computations != 1 || m.CacheEntries != 1 {
+		t.Fatalf("computations = %d, cache_entries = %d, want 1, 1", m.Computations, m.CacheEntries)
+	}
+}
+
+// TestErrorLatencyRecorded closes the metrics blind spot: failed requests
+// must record latency too, broken down by status class, so p99 under errors
+// is visible. One success and one 400 must yield one observation each in the
+// 2xx and 4xx class summaries and two in the overall histogram.
+func TestErrorLatencyRecorded(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	if status, _ := postCSV(t, ts.URL+"/v1/sample", testCSV()); status != http.StatusOK {
+		t.Fatal("sample failed")
+	}
+	if status, _ := postCSV(t, ts.URL+"/v1/sample", "not,a,profile\n1,2,3\n"); status != http.StatusBadRequest {
+		t.Fatalf("malformed CSV status = %d, want 400", status)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"sieved_request_seconds_count 2\n",
+		"sieved_request_seconds_class_2xx_count 1\n",
+		"sieved_request_seconds_class_4xx_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q — error-path latency unrecorded:\n%s", want, out)
+		}
+	}
+}
+
+// TestStatusRecorderForwardsFlush pins the access-log wrapper's Flusher
+// passthrough: batch responses stream per-item envelopes, so the wrapped
+// ResponseWriter must still satisfy http.Flusher and forward the flush.
+func TestStatusRecorderForwardsFlush(t *testing.T) {
+	rec := httptest.NewRecorder()
+	var w http.ResponseWriter = &statusRecorder{ResponseWriter: rec, status: http.StatusOK}
+	f, ok := w.(http.Flusher)
+	if !ok {
+		t.Fatal("statusRecorder does not satisfy http.Flusher")
+	}
+	f.Flush()
+	if !rec.Flushed {
+		t.Fatal("Flush was not forwarded to the underlying ResponseWriter")
 	}
 }
 

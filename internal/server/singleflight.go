@@ -1,0 +1,87 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// flightResult is what one coalesced computation produces: the marshaled plan
+// document or the computation's error, shared verbatim by every waiter.
+type flightResult struct {
+	doc []byte
+	err error
+}
+
+// flight is one in-progress computation. res is written exactly once, before
+// done is closed; waiters read it only after <-done, so the channel close
+// publishes the result.
+type flight struct {
+	done chan struct{}
+	res  flightResult
+}
+
+// flightGroup is the key-indexed in-flight table behind request coalescing:
+// concurrent misses on one content hash block on a single computation instead
+// of each computing an identical plan. Unlike x/sync/singleflight, the
+// computation runs on a detached goroutine — the caller that starts a flight
+// is just its first waiter — so a leader's client disconnect never fails the
+// followers; each waiter's own context still cancels that waiter
+// individually.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+	// onJoin, when set, runs each time a call joins an existing flight —
+	// before the wait, so a blocked computation's follower count is already
+	// observable (the Coalesced metric rides this hook).
+	onJoin func()
+}
+
+// do returns the result of computing key, coalescing with any in-progress
+// computation of the same key. The first caller starts fn on a detached
+// goroutine (fn is responsible for bounding itself — see computePlan's
+// detached timeout); every caller then waits for the flight to finish or for
+// its own ctx to expire, whichever is first. shared reports whether this call
+// joined a flight another call started. err is non-nil only when ctx expired
+// while waiting; the computation's own error travels inside the result so all
+// waiters see it.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() flightResult) (res flightResult, shared bool, err error) {
+	g.mu.Lock()
+	if g.flights == nil {
+		g.flights = make(map[string]*flight)
+	}
+	f, ok := g.flights[key]
+	if !ok {
+		f = &flight{done: make(chan struct{})}
+		g.flights[key] = f
+		go func() {
+			res := fn()
+			// Publish order matters: set the result, drop the table entry,
+			// then close done. A request arriving after the delete starts a
+			// fresh flight, but a successful fn has already filled the plan
+			// cache, so it hits there instead of recomputing.
+			g.mu.Lock()
+			f.res = res
+			delete(g.flights, key)
+			g.mu.Unlock()
+			close(f.done)
+		}()
+	}
+	g.mu.Unlock()
+	if ok && g.onJoin != nil {
+		g.onJoin()
+	}
+
+	select {
+	case <-f.done:
+		return f.res, ok, nil
+	case <-ctx.Done():
+		return flightResult{}, ok, ctx.Err()
+	}
+}
+
+// inFlight reports the number of keys currently being computed.
+func (g *flightGroup) inFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.flights)
+}

@@ -1,0 +1,298 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCoalescedBurstComputesOnce is the acceptance check for request
+// coalescing: a burst of 50 concurrent identical /v1/sample requests
+// performs exactly one computation. The flight is held open by the
+// preCompute gate until all 49 followers have joined (observable via the
+// coalesced counter, which increments at join time), so the assertion is
+// deterministic rather than a race the burst usually wins.
+func TestCoalescedBurstComputesOnce(t *testing.T) {
+	const burst = 50
+	srv := New(Config{})
+	gate := make(chan struct{})
+	srv.preCompute = func(string) { <-gate }
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	csv := testCSV()
+
+	var wg sync.WaitGroup
+	results := make([]sampleEnvelope, burst)
+	statuses := make([]int, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, body := postCSV(t, ts.URL+"/v1/sample", csv)
+			statuses[i] = status
+			_ = json.Unmarshal(body, &results[i])
+		}(i)
+	}
+	waitFor(t, "49 followers to coalesce", func() bool {
+		return srv.metrics.Coalesced.Value() == burst-1
+	})
+	close(gate)
+	wg.Wait()
+
+	for i := 0; i < burst; i++ {
+		if statuses[i] != http.StatusOK {
+			t.Fatalf("request %d status = %d", i, statuses[i])
+		}
+		if results[i].PlanID != results[0].PlanID || string(results[i].Plan) != string(results[0].Plan) {
+			t.Fatalf("request %d returned a different plan", i)
+		}
+	}
+	if got := srv.metrics.Computations.Value(); got != 1 {
+		t.Fatalf("computations = %d, want exactly 1 for %d concurrent identical requests", got, burst)
+	}
+	if got := srv.metrics.Coalesced.Value(); got != burst-1 {
+		t.Fatalf("coalesced = %d, want %d", got, burst-1)
+	}
+	if got := srv.metrics.CacheMisses.Value(); got != burst {
+		t.Fatalf("cache_misses = %d, want %d (all arrived before the plan was cached)", got, burst)
+	}
+	// The burst's plan must now be a plain cache hit.
+	status, body := postCSV(t, ts.URL+"/v1/sample", csv)
+	var env sampleEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusOK || !env.Cached {
+		t.Fatalf("post-burst request: status %d cached %v, want 200 cached", status, env.Cached)
+	}
+}
+
+// TestCoalescedLeaderDisconnect pins the detached-computation contract: the
+// client that started a flight disconnecting must not fail the follower
+// coalesced behind it — the computation finishes under its own timeout and
+// the follower gets the plan.
+func TestCoalescedLeaderDisconnect(t *testing.T) {
+	srv := New(Config{})
+	gate := make(chan struct{})
+	srv.preCompute = func(string) { <-gate }
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	csv := testCSV()
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		req, err := http.NewRequestWithContext(leaderCtx, http.MethodPost, ts.URL+"/v1/sample", strings.NewReader(csv))
+		if err != nil {
+			leaderErr <- err
+			return
+		}
+		req.Header.Set("Content-Type", "text/csv")
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		leaderErr <- err
+	}()
+	waitFor(t, "leader flight to start", func() bool { return srv.flights.inFlight() == 1 })
+
+	followerDone := make(chan sampleEnvelope, 1)
+	go func() {
+		_, body := postCSV(t, ts.URL+"/v1/sample", csv)
+		var env sampleEnvelope
+		_ = json.Unmarshal(body, &env)
+		followerDone <- env
+	}()
+	waitFor(t, "follower to coalesce", func() bool { return srv.metrics.Coalesced.Value() == 1 })
+
+	// The leader's client walks away; the flight must keep computing.
+	cancelLeader()
+	if err := <-leaderErr; err == nil {
+		t.Fatal("cancelled leader request unexpectedly succeeded")
+	}
+	close(gate)
+
+	env := <-followerDone
+	if env.PlanID == "" || len(env.Plan) == 0 {
+		t.Fatalf("follower did not receive the plan after leader disconnect: %+v", env)
+	}
+	if got := srv.metrics.Computations.Value(); got != 1 {
+		t.Fatalf("computations = %d, want 1", got)
+	}
+}
+
+// TestFlightGroupFollowerTimeout checks per-waiter cancellation directly on
+// the in-flight table: a follower whose context expires fails individually
+// while the flight runs on and delivers to patient waiters.
+func TestFlightGroupFollowerTimeout(t *testing.T) {
+	var g flightGroup
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	patient := make(chan flightResult, 1)
+	go func() {
+		res, _, err := g.do(context.Background(), "k", func() flightResult {
+			close(started)
+			<-gate
+			return flightResult{doc: []byte("plan")}
+		})
+		if err != nil {
+			t.Errorf("patient waiter failed: %v", err)
+		}
+		patient <- res
+	}()
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, shared, err := g.do(ctx, "k", func() flightResult {
+		t.Error("follower started a second computation")
+		return flightResult{}
+	})
+	if !shared {
+		t.Fatal("follower did not join the existing flight")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("follower err = %v, want deadline exceeded", err)
+	}
+
+	close(gate)
+	if res := <-patient; string(res.doc) != "plan" {
+		t.Fatalf("patient waiter got %q", res.doc)
+	}
+	if g.inFlight() != 0 {
+		t.Fatalf("flight table not drained: %d in flight", g.inFlight())
+	}
+}
+
+// TestFlightGroupSharesErrors: a failed computation's error reaches every
+// waiter, and the key is retryable afterwards (the table entry is gone).
+func TestFlightGroupSharesErrors(t *testing.T) {
+	var g flightGroup
+	boom := errors.New("boom")
+	res, shared, err := g.do(context.Background(), "k", func() flightResult {
+		return flightResult{err: boom}
+	})
+	if err != nil || shared {
+		t.Fatalf("do: shared=%v err=%v", shared, err)
+	}
+	if !errors.Is(res.err, boom) {
+		t.Fatalf("res.err = %v, want boom", res.err)
+	}
+	// The failure must not be sticky.
+	res, _, err = g.do(context.Background(), "k", func() flightResult {
+		return flightResult{doc: []byte("ok")}
+	})
+	if err != nil || res.err != nil || string(res.doc) != "ok" {
+		t.Fatalf("retry after failure: %+v err=%v", res, err)
+	}
+}
+
+// TestFlightGroupConcurrent hammers the table from many goroutines across a
+// small key space under -race: every waiter of one flight generation
+// observes that generation's result, exactly one fn runs per generation, and
+// the table drains.
+func TestFlightGroupConcurrent(t *testing.T) {
+	var g flightGroup
+	keys := []string{"a", "b", "c"}
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		for _, k := range keys {
+			wg.Add(1)
+			go func(k string) {
+				defer wg.Done()
+				res, _, err := g.do(context.Background(), k, func() flightResult {
+					time.Sleep(100 * time.Microsecond)
+					return flightResult{doc: []byte(k)}
+				})
+				if err != nil || string(res.doc) != k {
+					t.Errorf("key %s: res=%q err=%v", k, res.doc, err)
+				}
+			}(k)
+		}
+	}
+	wg.Wait()
+	if g.inFlight() != 0 {
+		t.Fatalf("flight table not drained: %d", g.inFlight())
+	}
+}
+
+// TestEvictionDuringFlight: an LRU evicting entries while a flight is still
+// computing must stay consistent — the in-flight plan lands in the cache
+// when it completes, bumping out the colder entry, and stays addressable.
+func TestEvictionDuringFlight(t *testing.T) {
+	srv := New(Config{CacheEntries: 1})
+	slowID := make(chan string, 1)
+	gate := make(chan struct{})
+	// Only the first flight blocks (sync.Once.Do would stall later callers
+	// until the first returns, deadlocking the gate).
+	var first atomic.Bool
+	first.Store(true)
+	srv.preCompute = func(id string) {
+		if first.CompareAndSwap(true, false) {
+			slowID <- id
+			<-gate
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	slowDone := make(chan sampleEnvelope, 1)
+	go func() {
+		_, body := postCSV(t, ts.URL+"/v1/sample?theta=0.4", testCSV())
+		var env sampleEnvelope
+		_ = json.Unmarshal(body, &env)
+		slowDone <- env
+	}()
+	<-slowID
+
+	// While the first flight is held open, a different request completes and
+	// occupies the single cache slot.
+	status, body := postCSV(t, ts.URL+"/v1/sample?theta=0.6", testCSV())
+	if status != http.StatusOK {
+		t.Fatalf("fast request status %d", status)
+	}
+	var fast sampleEnvelope
+	if err := json.Unmarshal(body, &fast); err != nil {
+		t.Fatal(err)
+	}
+	if srv.cache.len() != 1 {
+		t.Fatalf("cache len = %d, want 1", srv.cache.len())
+	}
+
+	close(gate)
+	slow := <-slowDone
+	if slow.PlanID == "" {
+		t.Fatal("slow flight returned no plan")
+	}
+	// The completed flight's put evicted the fast plan (capacity 1).
+	if srv.cache.len() != 1 {
+		t.Fatalf("cache len = %d after flight completion, want 1", srv.cache.len())
+	}
+	var env sampleEnvelope
+	if status := getJSON(t, ts.URL+"/v1/plans/"+slow.PlanID, &env); status != http.StatusOK {
+		t.Fatalf("in-flight plan not cached after completion: %d", status)
+	}
+	var errDoc map[string]string
+	if status := getJSON(t, ts.URL+"/v1/plans/"+fast.PlanID, &errDoc); status != http.StatusNotFound {
+		t.Fatalf("evicted plan still served: %d", status)
+	}
+}
