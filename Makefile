@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench bench-compare bench-stream bench-serve bench-obs bench-all vet fmt fuzz-smoke serve experiments record report clean
+.PHONY: all build test test-short test-race bench bench-compare bench-stream bench-serve bench-obs bench-load bench-all loadtest vet fmt fuzz-smoke serve experiments record report clean
 
 all: build test
 
@@ -64,6 +64,22 @@ bench-obs:
 	$(GO) test -run XXX -bench 'BenchmarkSample$$' \
 		-benchmem -benchtime 1x -json . > BENCH_obs.json
 	@echo "benchmark event stream written to BENCH_obs.json"
+
+# Quick load-harness smoke against a locally started sieved: 5 seconds of
+# closed-loop mixed-scenario traffic, report to stdout (CI runs the same
+# shape; see docs/load.md).
+loadtest:
+	$(GO) build -o /tmp/sieved-loadtest ./cmd/sieved
+	/tmp/sieved-loadtest -addr 127.0.0.1:8372 -log-level warn & \
+	  PID=$$!; trap "kill $$PID" EXIT; sleep 0.5; \
+	  $(GO) run ./cmd/sieveload -targets http://127.0.0.1:8372 \
+	    -duration 5s -ramp 0:8 -budget 8 -snapshot 0 -out -
+
+# Refresh the checked-in BENCH_load.json: two peered replicas, a zipfian and
+# a uniform pass over the same catalog (see scripts/bench_load.sh for the
+# tunables).
+bench-load:
+	./scripts/bench_load.sh
 
 # Sample observability report + Chrome trace for the checked-in lmc fixture
 # (CI runs the same as a smoke test of the -report/-trace-out surface).

@@ -1,0 +1,190 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/gpusampling/sieve/api"
+)
+
+// countingServer answers each request with the next status in script (the
+// last entry repeats), recording the attempt count.
+func countingServer(t *testing.T, script ...int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		i := int(n) - 1
+		if i >= len(script) {
+			i = len(script) - 1
+		}
+		status := script[i]
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		if status == http.StatusOK {
+			fmt.Fprint(w, `{"plan_id":"abc","cached":true,"plan":{"theta":0.4}}`)
+		} else {
+			fmt.Fprintf(w, `{"error":"scripted %d"}`, status)
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+func fastClient(t *testing.T, base string, opts ...Option) *Client {
+	t.Helper()
+	c, err := New(base, append([]Option{WithBackoff(time.Millisecond)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestRetryOn5xx: transient 5xx responses are retried and the eventual
+// success is returned.
+func TestRetryOn5xx(t *testing.T) {
+	ts, calls := countingServer(t, 503, 502, 200)
+	c := fastClient(t, ts.URL, WithRetries(3))
+	env, err := c.GetPlan(context.Background(), "abc")
+	if err != nil {
+		t.Fatalf("GetPlan after transient 5xx: %v", err)
+	}
+	if env.PlanID != "abc" || !env.Cached {
+		t.Fatalf("envelope = %+v", env)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3 (two retries then success)", got)
+	}
+}
+
+// TestNoRetryOn4xx: caller errors are terminal — one attempt, typed error.
+func TestNoRetryOn4xx(t *testing.T) {
+	ts, calls := countingServer(t, 422)
+	c := fastClient(t, ts.URL, WithRetries(5))
+	_, err := c.GetPlan(context.Background(), "abc")
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Status != 422 {
+		t.Fatalf("err = %v, want *api.Error with status 422", err)
+	}
+	if apiErr.Message != "scripted 422" {
+		t.Fatalf("message = %q", apiErr.Message)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want 1 (4xx never retried)", got)
+	}
+}
+
+// TestRetryBudgetRespected: a persistent 5xx consumes exactly 1 + retries
+// attempts and surfaces the final status.
+func TestRetryBudgetRespected(t *testing.T) {
+	ts, calls := countingServer(t, 500)
+	c := fastClient(t, ts.URL, WithRetries(2))
+	_, err := c.GetPlan(context.Background(), "abc")
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Status != 500 {
+		t.Fatalf("err = %v, want *api.Error with status 500", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3 (initial + 2 retries)", got)
+	}
+}
+
+// errTripper fails every round trip at the transport layer, counting calls —
+// the deterministic stand-in for connection-refused/reset errors.
+type errTripper struct{ calls atomic.Int64 }
+
+func (e *errTripper) RoundTrip(*http.Request) (*http.Response, error) {
+	e.calls.Add(1)
+	return nil, errors.New("connect: connection refused")
+}
+
+// TestRetryOnConnectError: transport-level failures are retried up to the
+// budget and the transport error is surfaced.
+func TestRetryOnConnectError(t *testing.T) {
+	tr := &errTripper{}
+	c := fastClient(t, "http://sieved.invalid", WithRetries(2),
+		WithHTTPClient(&http.Client{Transport: tr}))
+	_, err := c.Healthz(context.Background())
+	if err == nil {
+		t.Fatal("Healthz over a dead transport succeeded")
+	}
+	if got := tr.calls.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3 (initial + 2 retries)", got)
+	}
+}
+
+// TestNoRetryAfterContextCancel: a cancelled context stops the retry loop
+// instead of burning the remaining budget against a dead server.
+func TestNoRetryAfterContextCancel(t *testing.T) {
+	tr := &errTripper{}
+	c := fastClient(t, "http://sieved.invalid", WithRetries(10),
+		WithHTTPClient(&http.Client{Transport: tr}))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.Healthz(ctx)
+	if err == nil {
+		t.Fatal("cancelled Healthz succeeded")
+	}
+	if got := tr.calls.Load(); got > 1 {
+		t.Fatalf("attempts = %d after cancel, want ≤ 1", got)
+	}
+}
+
+// TestConcurrentRetries hammers one shared Client from many goroutines so
+// the race detector checks the jitter source and header plumbing.
+func TestConcurrentRetries(t *testing.T) {
+	ts, _ := countingServer(t, 503, 200, 503, 200, 503, 200, 200)
+	c := fastClient(t, ts.URL, WithRetries(4))
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			_, err := c.GetPlan(context.Background(), "abc")
+			done <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatalf("concurrent GetPlan: %v", err)
+		}
+	}
+}
+
+// TestSampleRawRelaysVerbatim: SampleRaw returns the exact status and body,
+// 4xx included, with no typed-error translation — the proxy contract.
+func TestSampleRawRelaysVerbatim(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if got := r.Header.Get("X-Test-Marker"); got != "yes" {
+			t.Errorf("configured header missing: %q", got)
+		}
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		fmt.Fprint(w, `{"error":"empty profile"}`)
+	}))
+	t.Cleanup(ts.Close)
+	c := fastClient(t, ts.URL, WithHeader("X-Test-Marker", "yes"))
+	status, body, err := c.SampleRaw(context.Background(), &api.SampleRequest{Workload: "lmc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusUnprocessableEntity || string(body) != `{"error":"empty profile"}` {
+		t.Fatalf("relay = %d %q", status, body)
+	}
+}
+
+func TestNewValidatesBaseURL(t *testing.T) {
+	if _, err := New("sieved:8372"); err == nil {
+		t.Fatal("schemeless base URL accepted")
+	}
+	c, err := New("  http://sieved:8372/ ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.BaseURL() != "http://sieved:8372" {
+		t.Fatalf("BaseURL = %q", c.BaseURL())
+	}
+}

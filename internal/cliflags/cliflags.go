@@ -13,6 +13,7 @@ import (
 	"log/slog"
 	"os"
 	"runtime"
+	"strings"
 
 	"github.com/gpusampling/sieve/internal/core"
 	"github.com/gpusampling/sieve/internal/obs"
@@ -29,6 +30,7 @@ const (
 	logLevelHelp    = "structured-log level: debug, info, warn or error"
 	peersHelp       = "comma-separated base URLs of the sieved replica set for consistent-hash shard routing (empty = single node)"
 	selfHelp        = "this replica's own advertised base URL, as the other replicas reach it (required with -peers)"
+	targetsHelp     = "comma-separated sieved base URLs to drive (one per replica; requests spread across them)"
 	reportHelp      = "write an observability report (per-stage spans, counters, histograms) as JSON to this file ('-' = stdout)"
 	traceOutHelp    = "write the recorded stage spans as Chrome trace_viewer trace-event JSON to this file (open via chrome://tracing or ui.perfetto.dev)"
 )
@@ -79,6 +81,24 @@ func Stream(fs *flag.FlagSet) (stream *bool, reservoir *int) {
 // shard ring.
 func Peers(fs *flag.FlagSet) (peers, self *string) {
 	return fs.String("peers", "", peersHelp), fs.String("self", "", selfHelp)
+}
+
+// Targets registers the shared -targets flag naming the sieved replicas a
+// client-side tool drives (cmd/sieveload).
+func Targets(fs *flag.FlagSet, def string) *string {
+	return fs.String("targets", def, targetsHelp)
+}
+
+// SplitList parses a comma-separated flag value into trimmed, non-empty
+// entries.
+func SplitList(csv string) []string {
+	var out []string
+	for _, part := range strings.Split(csv, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 // LogLevel registers the shared -log-level flag.

@@ -1,0 +1,52 @@
+package load
+
+// MaxMinAlloc splits total units of a shared budget across scenarios by
+// max-min fairness: every scenario gets an equal share, except that a
+// scenario demanding less than its share is fully satisfied and its unused
+// share is redistributed among the rest. The result allocates
+// min(total, Σdemands) units with alloc[i] ≤ demands[i], and no scenario can
+// gain a unit without taking one from a scenario holding fewer.
+//
+// This is how the harness stays capacity-aware: a scenario's demand is its
+// declared capacity cap (or the whole budget when uncapped), so heavyweight
+// scenarios are throttled at their cap while the freed budget flows to the
+// uncapped ones instead of going idle.
+func MaxMinAlloc(total int, demands []int) []int {
+	alloc := make([]int, len(demands))
+	if total <= 0 {
+		return alloc
+	}
+	remaining := total
+	for {
+		var active []int
+		for i, d := range demands {
+			if alloc[i] < d {
+				active = append(active, i)
+			}
+		}
+		if len(active) == 0 || remaining == 0 {
+			return alloc
+		}
+		share := remaining / len(active)
+		if share == 0 {
+			// Fewer units than unsatisfied scenarios: hand out the remainder
+			// one unit each in index order (deterministic tie-break).
+			for _, i := range active {
+				if remaining == 0 {
+					break
+				}
+				alloc[i]++
+				remaining--
+			}
+			return alloc
+		}
+		for _, i := range active {
+			grant := demands[i] - alloc[i]
+			if grant > share {
+				grant = share
+			}
+			alloc[i] += grant
+			remaining -= grant
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package load
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestMaxMinAlloc(t *testing.T) {
+	cases := []struct {
+		total   int
+		demands []int
+		want    []int
+	}{
+		// Plenty of budget: everyone fully satisfied.
+		{100, []int{10, 20, 30}, []int{10, 20, 30}},
+		// Scarce budget, equal demands: equal split.
+		{30, []int{100, 100, 100}, []int{10, 10, 10}},
+		// A small demand frees budget for the big ones.
+		{30, []int{4, 100, 100}, []int{4, 13, 13}},
+		// Capped scenario at its cap, rest shared.
+		{64, []int{16, 64, 64}, []int{16, 24, 24}},
+		// Fewer units than scenarios: index-order remainder.
+		{2, []int{5, 5, 5}, []int{1, 1, 0}},
+		// Zero budget.
+		{0, []int{5, 5}, []int{0, 0}},
+		// Zero demand stays zero.
+		{10, []int{0, 7}, []int{0, 7}},
+	}
+	for _, c := range cases {
+		got := MaxMinAlloc(c.total, c.demands)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("MaxMinAlloc(%d, %v) = %v, want %v", c.total, c.demands, got, c.want)
+		}
+	}
+}
+
+// TestMaxMinAllocInvariants fuzzes the two allocation laws: never exceed a
+// demand, and allocate exactly min(total, Σdemands).
+func TestMaxMinAllocInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(8)
+		demands := make([]int, n)
+		sum := 0
+		for i := range demands {
+			demands[i] = rng.Intn(50)
+			sum += demands[i]
+		}
+		total := rng.Intn(120)
+		alloc := MaxMinAlloc(total, demands)
+		allocated := 0
+		for i := range alloc {
+			if alloc[i] > demands[i] || alloc[i] < 0 {
+				t.Fatalf("alloc %v exceeds demands %v (total %d)", alloc, demands, total)
+			}
+			allocated += alloc[i]
+		}
+		want := total
+		if sum < want {
+			want = sum
+		}
+		if allocated != want {
+			t.Fatalf("MaxMinAlloc(%d, %v) = %v allocates %d, want %d", total, demands, alloc, allocated, want)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package load
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Dist names a popularity distribution over the profile catalog. Under
+// "zipfian" the catalog's first entries are the hot set — every worker skews
+// toward the same few profiles, which is what makes request coalescing and
+// cache hits visible under load. Under "uniform" all entries are equally
+// likely, the cache-hostile baseline.
+type Dist struct {
+	Kind string  // "uniform" or "zipfian"
+	S    float64 // zipfian skew exponent, > 1 (ignored for uniform)
+}
+
+// ParseDist validates a distribution name and skew.
+func ParseDist(kind string, s float64) (Dist, error) {
+	switch kind {
+	case "uniform":
+		return Dist{Kind: "uniform"}, nil
+	case "zipfian":
+		if s <= 1 {
+			return Dist{}, fmt.Errorf("load: zipfian skew must be > 1, got %g", s)
+		}
+		return Dist{Kind: "zipfian", S: s}, nil
+	default:
+		return Dist{}, fmt.Errorf("load: unknown distribution %q (want uniform or zipfian)", kind)
+	}
+}
+
+// Picker returns a catalog-index generator over [0, n) bound to the worker's
+// own RNG, so every worker draws a deterministic, independent sequence.
+func (d Dist) Picker(rng *rand.Rand, n int) (func() int, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("load: empty catalog")
+	}
+	switch d.Kind {
+	case "uniform":
+		return func() int { return rng.Intn(n) }, nil
+	case "zipfian":
+		z := rand.NewZipf(rng, d.S, 1, uint64(n-1))
+		if z == nil {
+			return nil, fmt.Errorf("load: bad zipfian parameters s=%g n=%d", d.S, n)
+		}
+		return func() int { return int(z.Uint64()) }, nil
+	default:
+		return nil, fmt.Errorf("load: unknown distribution %q", d.Kind)
+	}
+}

@@ -1,0 +1,81 @@
+package load
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParseDist(t *testing.T) {
+	if _, err := ParseDist("uniform", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseDist("zipfian", 1.2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseDist("zipfian", 1.0); err == nil {
+		t.Fatal("zipfian s=1 accepted")
+	}
+	if _, err := ParseDist("pareto", 2); err == nil {
+		t.Fatal("unknown distribution accepted")
+	}
+}
+
+// TestZipfianSkew checks the zipfian picker concentrates mass on the low
+// indices while uniform spreads it evenly — the property the cache-contrast
+// benchmark rests on.
+func TestZipfianSkew(t *testing.T) {
+	const n, draws = 24, 20000
+	count := func(d Dist) []int {
+		pick, err := d.Picker(rand.New(rand.NewSource(42)), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := make([]int, n)
+		for i := 0; i < draws; i++ {
+			idx := pick()
+			if idx < 0 || idx >= n {
+				t.Fatalf("pick out of range: %d", idx)
+			}
+			c[idx]++
+		}
+		return c
+	}
+	zipf := count(Dist{Kind: "zipfian", S: 1.2})
+	uni := count(Dist{Kind: "uniform"})
+
+	zipfTop4 := zipf[0] + zipf[1] + zipf[2] + zipf[3]
+	uniTop4 := uni[0] + uni[1] + uni[2] + uni[3]
+	if zipfTop4 < draws/2 {
+		t.Errorf("zipfian top-4 share = %d/%d, want ≥ half", zipfTop4, draws)
+	}
+	if uniTop4 > draws/3 {
+		t.Errorf("uniform top-4 share = %d/%d, want ≈ 4/24", uniTop4, draws)
+	}
+}
+
+// TestPickerDeterminism: same seed, same sequence — the reproducibility
+// contract per worker slot.
+func TestPickerDeterminism(t *testing.T) {
+	for _, d := range []Dist{{Kind: "uniform"}, {Kind: "zipfian", S: 1.3}} {
+		a, _ := d.Picker(rand.New(rand.NewSource(9)), 16)
+		b, _ := d.Picker(rand.New(rand.NewSource(9)), 16)
+		for i := 0; i < 100; i++ {
+			if x, y := a(), b(); x != y {
+				t.Fatalf("%s: draw %d differs: %d vs %d", d.Kind, i, x, y)
+			}
+		}
+	}
+}
+
+func TestPickerSingleEntryCatalog(t *testing.T) {
+	d := Dist{Kind: "zipfian", S: 1.5}
+	pick, err := d.Picker(rand.New(rand.NewSource(3)), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if got := pick(); got != 0 {
+			t.Fatalf("pick = %d on 1-entry catalog", got)
+		}
+	}
+}

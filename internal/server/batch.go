@@ -8,35 +8,16 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"github.com/gpusampling/sieve/api"
 )
 
-// BatchRequest is the wire form of POST /v1/batch: stratify many profiles in
-// one request. Each item is a full SampleRequest, so a batch can mix CSV and
-// workload sources and vary options per item.
-type BatchRequest struct {
-	Items []SampleRequest `json:"items"`
-}
-
-// BatchItemResult is the per-item envelope inside a batch response: the
-// plan's envelope on success, an HTTP-style status plus error otherwise.
-// Items fail independently — one malformed profile does not sink its
-// siblings.
-type BatchItemResult struct {
-	// Status is the item's HTTP-equivalent status (200 on success, else the
-	// code /v1/sample would have answered).
-	Status int `json:"status"`
-	// PlanID is the item's content hash (set whenever the item resolved).
-	PlanID string `json:"plan_id,omitempty"`
-	// Cached reports the plan was served from the cache without computing.
-	Cached bool `json:"cached,omitempty"`
-	// Coalesced reports the item joined another request's in-flight
-	// computation instead of starting its own.
-	Coalesced bool `json:"coalesced,omitempty"`
-	// Plan is the marshaled plan document (success only).
-	Plan json.RawMessage `json:"plan,omitempty"`
-	// Error carries the failure detail (non-2xx only).
-	Error string `json:"error,omitempty"`
-}
+// The batch wire types live in the exported api package; the server consumes
+// them through aliases (see the note on SampleRequest in server.go).
+type (
+	BatchRequest    = api.BatchRequest
+	BatchItemResult = api.BatchItemResult
+)
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
@@ -46,12 +27,15 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 // serveBatch answers POST /v1/batch: one scheduler pass over many profiles.
-// The whole batch acquires a single worker slot — admission control is
-// amortized over the items, which is the shape pilot/refine methodologies
-// need — and each item still reuses the plan cache and the in-flight
-// coalescing table, so a batch racing identical single requests computes
-// each plan once. Item envelopes are streamed (and flushed) as they
-// complete, so a long batch delivers results incrementally.
+// The batch handler itself holds no worker slot — admission control lives
+// where the compute happens, in each item's flight leader — so cache hits
+// and coalesced joins cost nothing against the concurrency budget, and a
+// batch can never hold a slot while waiting on a flight whose leader needs
+// one (the deadlock an earlier whole-batch slot produced under cache-hostile
+// load). Each item reuses the plan cache and the in-flight coalescing table,
+// so a batch racing identical single requests computes each plan once. Item
+// envelopes are streamed (and flushed) as they complete, so a long batch
+// delivers results incrementally.
 func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) int {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
@@ -70,11 +54,6 @@ func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) int {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	release, err := s.acquireSlot(ctx)
-	if err != nil {
-		return s.writeError(w, err)
-	}
-	defer release()
 
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
@@ -98,10 +77,11 @@ func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) int {
 	return http.StatusOK
 }
 
-// batchItem resolves and answers one batch item under the batch's already-
-// held worker slot (needSlot=false in computePlan). Cache hits and
-// coalesced joins count toward the same metrics as single requests;
-// batch_items tracks the item volume itself.
+// batchItem resolves and answers one batch item. A computing item's flight
+// leader acquires its own worker slot exactly like a single request's would;
+// hits and joins need none. Cache hits and coalesced joins count toward the
+// same metrics as single requests; batch_items tracks the item volume
+// itself.
 func (s *Server) batchItem(ctx context.Context, req *SampleRequest) BatchItemResult {
 	s.metrics.BatchItems.Add(1)
 	rv, err := s.resolve(req)
@@ -115,7 +95,7 @@ func (s *Server) batchItem(ctx context.Context, req *SampleRequest) BatchItemRes
 		return BatchItemResult{Status: http.StatusOK, PlanID: id, Cached: true, Plan: doc}
 	}
 	s.metrics.CacheMisses.Add(1)
-	doc, shared, err := s.computePlan(ctx, id, false, rv)
+	doc, shared, err := s.computePlan(ctx, id, rv)
 	if err != nil {
 		s.metrics.Failures.Add(1)
 		if s.cfg.Logger != nil {

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -161,11 +163,11 @@ func TestBatchSharesCacheWithSample(t *testing.T) {
 	}
 }
 
-// TestBatchOneSlotAcquisition pins the admission amortization: a batch of
-// several computing items takes exactly one worker slot for the whole pass,
-// observable on a single-slot server where the batch's own items would
-// otherwise deadlock waiting for each other.
-func TestBatchOneSlotAcquisition(t *testing.T) {
+// TestBatchSingleSlotProgress pins the admission model: worker slots bound
+// plan computations, not requests, so a batch of several computing items
+// completes on a single-slot server — each item's flight leader takes the
+// slot in turn, and the batch itself never holds one.
+func TestBatchSingleSlotProgress(t *testing.T) {
 	ts := newTestServer(t, Config{MaxConcurrent: 1})
 	body := `{"items":[
 		{"workload":"lmc","scale":0.05},
@@ -179,5 +181,68 @@ func TestBatchOneSlotAcquisition(t *testing.T) {
 		if item.Status != http.StatusOK {
 			t.Fatalf("item %d = %+v, want 200 (slot starvation?)", i, item)
 		}
+	}
+}
+
+// TestBatchDoesNotHoldSlotAcrossFlightWait is the regression test for a slot
+// deadlock the load harness exposed: serveBatch used to acquire one worker
+// slot for its whole pass and hold it while items waited on the coalescing
+// table, so a batch parked on a flight whose leader needed that very slot
+// wedged the server until timeouts fired (under cache-hostile load, every
+// slot ended up held by a waiter). Deterministic reproduction on a
+// single-slot server: a sample request starts a flight whose leader is gated
+// before slot acquisition, then a batch item joins that flight. The batch
+// must wait slotless, so releasing the gate lets the leader take the slot
+// and both requests finish promptly.
+func TestBatchDoesNotHoldSlotAcrossFlightWait(t *testing.T) {
+	srv := New(Config{MaxConcurrent: 1})
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	srv.preCompute = func(string) {
+		once.Do(func() { close(entered) })
+		<-gate
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	csv := testCSV()
+
+	var wg sync.WaitGroup
+	var sampleStatus int
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sampleStatus, _ = postCSV(t, ts.URL+"/v1/sample", csv)
+	}()
+	<-entered // flight registered; its leader is parked before acquireSlot
+
+	csvJSON, err := json.Marshal(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batchStatus int
+	var out batchResponse
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		batchStatus, out, _ = postBatch(t, ts.URL, fmt.Sprintf(`{"items":[{"profile_csv":%s}]}`, csvJSON))
+	}()
+	waitFor(t, "batch item to join the sample's flight", func() bool {
+		return srv.metrics.Coalesced.Value() >= 1
+	})
+	close(gate)
+	wg.Wait()
+
+	if sampleStatus != http.StatusOK {
+		t.Fatalf("sample status = %d, want 200", sampleStatus)
+	}
+	if batchStatus != http.StatusOK || len(out.Items) != 1 {
+		t.Fatalf("batch status = %d items = %+v, want 200 with one item", batchStatus, out.Items)
+	}
+	if it := out.Items[0]; it.Status != http.StatusOK || !it.Coalesced {
+		t.Fatalf("batch item = %+v, want 200 coalesced", it)
+	}
+	if got := srv.metrics.Computations.Value(); got != 1 {
+		t.Fatalf("computations = %d, want 1 (item must join the sample's flight)", got)
 	}
 }

@@ -1,16 +1,17 @@
 package server
 
 import (
-	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
 	"sort"
 	"strings"
+
+	"github.com/gpusampling/sieve/api"
+	"github.com/gpusampling/sieve/client"
 )
 
 // ringVnodes is the number of virtual points each replica contributes to the
@@ -147,58 +148,55 @@ const forwardedHeader = "X-Sieved-Forwarded"
 
 func isForwarded(r *http.Request) bool { return r.Header.Get(forwardedHeader) != "" }
 
-// planFromEnvelope extracts the raw plan document from a peer's
-// {plan_id, cached, plan} response for a local cache fill. The plan bytes
-// are taken verbatim from the envelope, so the fill is byte-identical to the
-// owner's cached document. A mismatched plan_id (peer confusion) is
-// discarded rather than poisoning the cache.
+// planFromEnvelope extracts the raw plan document from a relayed
+// api.PlanEnvelope body for a local cache fill. The plan bytes are taken
+// verbatim from the envelope, so the fill is byte-identical to the owner's
+// cached document. A mismatched plan_id (peer confusion) is discarded rather
+// than poisoning the cache.
 func planFromEnvelope(body []byte, id string) []byte {
-	var env struct {
-		PlanID string          `json:"plan_id"`
-		Plan   json.RawMessage `json:"plan"`
-	}
+	var env api.PlanEnvelope
 	if err := json.Unmarshal(body, &env); err != nil || env.PlanID != id || len(env.Plan) == 0 {
 		return nil
 	}
 	return append([]byte(nil), env.Plan...)
 }
 
+// peerClient builds the typed client for one owning replica. All peer
+// traffic goes through the exported client package — no hand-rolled HTTP
+// here. Retries are disabled: an unreachable owner should degrade to local
+// compute immediately (a dead peer costs latency, not availability), not
+// burn a retry budget first. The shared s.peer http.Client keeps one
+// connection pool across owners.
+func (s *Server) peerClient(owner string) (*client.Client, error) {
+	return client.New(owner,
+		client.WithHTTPClient(s.peer),
+		client.WithTimeout(s.cfg.RequestTimeout),
+		client.WithRetries(0),
+		client.WithHeader(forwardedHeader, s.selfURL()),
+	)
+}
+
 // proxySample forwards a resolved sample request to the owning replica and
-// relays its response. It reports ok=false when the owner could not be
-// reached (transport error), in which case the caller computes locally —
+// relays its response verbatim. It reports ok=false when the owner could not
+// be reached (transport error), in which case the caller computes locally —
 // graceful degradation. A reachable owner's answer is relayed whatever its
 // status, and a successful plan also fills the local cache so the next
-// identical request is a local hit.
+// identical request is a local hit. A mismatched plan_id (peer confusion) is
+// discarded rather than poisoning the cache.
 func (s *Server) proxySample(w http.ResponseWriter, ctx context.Context, rv *resolved, id, owner string) (int, bool) {
-	body, err := json.Marshal(rv.req)
+	pc, err := s.peerClient(owner)
 	if err != nil {
 		return 0, false
 	}
-	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
-	defer cancel()
-	preq, err := http.NewRequestWithContext(ctx, http.MethodPost, owner+"/v1/sample", bytes.NewReader(body))
-	if err != nil {
-		return 0, false
-	}
-	preq.Header.Set("Content-Type", "application/json")
-	preq.Header.Set(forwardedHeader, s.selfURL())
-	resp, err := s.peer.Do(preq)
+	status, respBody, err := pc.SampleRaw(ctx, rv.req)
 	if err != nil {
 		if s.cfg.Logger != nil {
 			s.cfg.Logger.Warn("peer proxy failed, computing locally", "owner", owner, "error", err.Error())
 		}
 		return 0, false
 	}
-	defer resp.Body.Close()
-	respBody, err := io.ReadAll(resp.Body)
-	if err != nil {
-		if s.cfg.Logger != nil {
-			s.cfg.Logger.Warn("peer proxy read failed, computing locally", "owner", owner, "error", err.Error())
-		}
-		return 0, false
-	}
 	s.metrics.PeerProxied.Add(1)
-	if resp.StatusCode == http.StatusOK {
+	if status == http.StatusOK {
 		if doc := planFromEnvelope(respBody, id); doc != nil {
 			s.cache.put(id, doc)
 			s.metrics.PeerFills.Add(1)
@@ -207,36 +205,29 @@ func (s *Server) proxySample(w http.ResponseWriter, ctx context.Context, rv *res
 		s.metrics.Failures.Add(1)
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(resp.StatusCode)
+	w.WriteHeader(status)
 	_, _ = w.Write(respBody)
-	return resp.StatusCode, true
+	return status, true
 }
 
 // fetchPlanFromPeer retrieves a cached plan document from the owning replica
-// for a local fill. Any failure — owner down, plan evicted there, malformed
-// envelope — returns nil and the caller answers 404 as a single node would.
+// for a local fill, byte-identical to the owner's cached bytes. Any failure
+// — owner down, plan evicted there, mismatched plan_id — returns nil and the
+// caller answers 404 as a single node would.
 func (s *Server) fetchPlanFromPeer(ctx context.Context, owner, id string) []byte {
-	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
-	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, owner+"/v1/plans/"+id, nil)
+	pc, err := s.peerClient(owner)
 	if err != nil {
 		return nil
 	}
-	req.Header.Set(forwardedHeader, s.selfURL())
-	resp, err := s.peer.Do(req)
+	env, err := pc.GetPlan(ctx, id)
 	if err != nil {
 		if s.cfg.Logger != nil {
 			s.cfg.Logger.Warn("peer plan fetch failed", "owner", owner, "error", err.Error())
 		}
 		return nil
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	if env.PlanID != id || len(env.Plan) == 0 {
 		return nil
 	}
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil
-	}
-	return planFromEnvelope(body, id)
+	return append([]byte(nil), env.Plan...)
 }

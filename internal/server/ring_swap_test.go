@@ -1,0 +1,142 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestSetPeersSwapUnderLoad hammers SetPeers — alternating a two-node ring,
+// a different two-node ring, and no ring at all — while reader goroutines
+// continuously resolve ownership and serve requests. The atomic.Pointer swap
+// must never produce a torn read (race detector) and every lookup must see a
+// coherent ring: either an owner from one of the configured member sets or
+// single-node operation.
+func TestSetPeersSwapUnderLoad(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	memberSets := [][]string{
+		{"http://peer-a:1", "http://peer-b:2"},
+		{"http://peer-c:3", "http://peer-d:4"},
+		nil, // single node
+	}
+	valid := map[string]bool{"": true}
+	for _, set := range memberSets {
+		for _, m := range set {
+			valid[m] = true
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var writers sync.WaitGroup
+
+	// Writers: swap the ring as fast as possible, a bounded number of times.
+	const swapsPerWriter = 600
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		writers.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer writers.Done()
+			for i := 0; i < swapsPerWriter; i++ {
+				set := memberSets[(i+w)%len(memberSets)]
+				if err := srv.SetPeers(ts.URL, set); err != nil {
+					t.Errorf("SetPeers: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Readers: resolve ownership of many keys mid-swap.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				owner := srv.shardRing().owner("plan-key")
+				if !valid[owner] && owner != ts.URL {
+					t.Errorf("torn ring read: owner %q from no configured member set", owner)
+					return
+				}
+			}
+		}()
+	}
+
+	// Requests keep flowing while rings swap underneath them.
+	for i := 0; i < 10; i++ {
+		var h struct {
+			Status string `json:"status"`
+		}
+		if status := getJSON(t, ts.URL+"/healthz", &h); status != http.StatusOK || h.Status != "ok" {
+			t.Fatalf("healthz during ring swaps = %d %+v", status, h)
+		}
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+}
+
+// TestInFlightProxiedRequestSurvivesRingSwap pins the swap semantics the
+// atomic.Pointer buys: a request already proxied to the old ring's owner
+// completes against that owner even when the ring is dropped mid-flight.
+func TestInFlightProxiedRequestSurvivesRingSwap(t *testing.T) {
+	a, b, aURL, bURL := twoReplicas(t, Config{})
+	csv := testCSV()
+	theta, _ := thetaOwnedBy(t, a, csv, bURL) // B owns; A proxies
+
+	// Gate B's computation so the proxied request is provably in flight when
+	// the ring swaps.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var gateOnce sync.Once
+	b.preCompute = func(string) {
+		gateOnce.Do(func() {
+			close(entered)
+			<-release
+		})
+	}
+
+	type result struct {
+		status int
+		body   []byte
+	}
+	done := make(chan result, 1)
+	go func() {
+		status, body := postCSV(t, aURL+"/v1/sample?theta="+theta, csv)
+		done <- result{status, body}
+	}()
+
+	<-entered
+	// The proxied request is now computing on B. Drop A's ring entirely:
+	// future requests are single-node, but the in-flight proxy must finish
+	// against the old ring's owner.
+	if err := a.SetPeers(aURL, nil); err != nil {
+		t.Fatal(err)
+	}
+	if a.shardRing() != nil {
+		t.Fatal("ring still configured after dropping peers")
+	}
+	close(release)
+
+	res := <-done
+	if res.status != http.StatusOK {
+		t.Fatalf("in-flight proxied request failed after ring swap: %d %s", res.status, res.body)
+	}
+	if a.metrics.PeerProxied.Value() != 1 {
+		t.Fatalf("peer_proxied = %d, want 1", a.metrics.PeerProxied.Value())
+	}
+	if b.metrics.Computations.Value() != 1 || a.metrics.Computations.Value() != 0 {
+		t.Fatalf("computations a/b = %d/%d, want 0/1",
+			a.metrics.Computations.Value(), b.metrics.Computations.Value())
+	}
+}

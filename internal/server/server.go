@@ -31,7 +31,6 @@
 package server
 
 import (
-	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -50,6 +49,8 @@ import (
 	"time"
 
 	"github.com/gpusampling/sieve"
+	"github.com/gpusampling/sieve/api"
+	"github.com/gpusampling/sieve/internal/core"
 )
 
 // Config bounds the service. The zero value serves with sane defaults.
@@ -127,9 +128,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/characterize", s.handleCharacterize)
 	s.mux.HandleFunc("GET /v1/plans/{id}", s.handlePlanGet)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /debug/metrics", s.metrics.handler(s.cache.len))
 	s.mux.HandleFunc("GET /metrics", s.metrics.prometheus(s.cache.len))
 	return s
@@ -162,6 +161,25 @@ func (s *Server) selfURL() string {
 		return r.self
 	}
 	return ""
+}
+
+// handleHealthz answers GET /healthz. The JSON body reports liveness plus
+// ring membership — {status, self, peers, version} — so a load generator or
+// operator can discover the replica set from any one replica. Probes that
+// only want the old bare-string liveness check ask with Accept: text/plain
+// and get exactly "ok".
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "text/plain") {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = io.WriteString(w, "ok")
+		return
+	}
+	h := api.Health{Status: "ok", Version: api.Version}
+	if ring := s.shardRing(); ring != nil {
+		h.Self = ring.self
+		h.Peers = append([]string(nil), ring.nodes...)
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 // statusRecorder captures the response status for the access log.
@@ -207,45 +225,14 @@ func (s *Server) Handler() http.Handler {
 // Metrics exposes the counters, e.g. for global expvar publication.
 func (s *Server) Metrics() *metrics { return &s.metrics }
 
-// RequestOptions is the wire form of the sampling knobs. Zero values select
-// the paper defaults, mirroring sieve.Options.
-type RequestOptions struct {
-	// Theta is the CoV threshold θ (0 = paper default 0.4; negative is a 400).
-	Theta float64 `json:"theta,omitempty"`
-	// Selection is dominant-cta-first (default), first-chronological or
-	// max-cta.
-	Selection string `json:"selection,omitempty"`
-	// Splitter is kde (default), equal-width or gmm.
-	Splitter string `json:"splitter,omitempty"`
-	// Parallelism is the per-request sampling worker count, capped by the
-	// server's configured default. Plans are byte-identical at any worker
-	// count, so this is a scheduling knob only: it does not participate in
-	// the plan's content hash.
-	Parallelism int `json:"parallelism,omitempty"`
-	// Stream selects the bounded-memory streaming sampler.
-	Stream bool `json:"stream,omitempty"`
-	// ReservoirSize bounds rows retained per kernel in stream mode.
-	ReservoirSize int `json:"reservoir_size,omitempty"`
-	// Seed seeds the streaming reservoir priority hash.
-	Seed uint64 `json:"seed,omitempty"`
-	// Arch picks the hardware model for workload-mode profiling (ampere
-	// default, turing).
-	Arch string `json:"arch,omitempty"`
-}
-
-// SampleRequest is the JSON envelope accepted by /v1/sample and
-// /v1/characterize, and the per-item shape inside /v1/batch. Exactly one of
-// ProfileCSV and Workload must be set.
-type SampleRequest struct {
-	// ProfileCSV is an inline profile table in the WriteProfileCSV format.
-	ProfileCSV string `json:"profile_csv,omitempty"`
-	// Workload is a Table I catalog workload name to generate and profile
-	// server-side, scaled by Scale (0 = 0.05).
-	Workload string  `json:"workload,omitempty"`
-	Scale    float64 `json:"scale,omitempty"`
-	// Options carries the sampling knobs.
-	Options RequestOptions `json:"options"`
-}
+// The wire types live in the exported api package — the supported
+// integration surface for out-of-process clients — and the server consumes
+// them through aliases so every existing reference keeps compiling and the
+// marshaled bytes stay identical (pinned by the golden wire tests).
+type (
+	RequestOptions = api.RequestOptions
+	SampleRequest  = api.SampleRequest
+)
 
 // badRequest marks an error as caller-caused (HTTP 400).
 type badRequest struct{ err error }
@@ -293,7 +280,7 @@ func (s *Server) writeError(w http.ResponseWriter, err error) int {
 	if s.cfg.Logger != nil {
 		s.cfg.Logger.Warn("request failed", "status", status, "error", err.Error())
 	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeJSON(w, status, &api.Error{Message: err.Error()})
 	return status
 }
 
@@ -364,6 +351,13 @@ func (s *Server) resolve(req *SampleRequest) (*resolved, error) {
 		return nil, badRequest{errors.New("exactly one of profile_csv (or a text/csv body) and workload must be given")}
 	}
 	o := sieve.Options{Theta: req.Options.Theta}
+	// On the wire θ=0 means "paper default". Canonicalize it here, before
+	// the options are hashed, so an unset θ and an explicit default-θ
+	// address one cache entry instead of computing identical plans twice
+	// (negative θ still flows through to the sampler's ErrInvalidTheta).
+	if o.Theta == 0 {
+		o.Theta = core.DefaultTheta
+	}
 	switch req.Options.Selection {
 	case "", "dominant-cta-first":
 		o.Selection = sieve.SelectDominantCTAFirst
@@ -524,40 +518,18 @@ func (rv *resolved) samplePlan(ctx context.Context) (*sieve.Plan, error) {
 	return plan, err
 }
 
-// stratumJSON is the wire form of one stratum.
-type stratumJSON struct {
-	Kernel         string  `json:"kernel"`
-	Tier           int     `json:"tier"`
-	Members        int     `json:"members"`
-	Invocations    []int   `json:"invocations"`
-	Representative int     `json:"representative"`
-	Weight         float64 `json:"weight"`
-	InstructionSum float64 `json:"instruction_sum"`
-}
-
-// planJSON is the wire form of a sampling plan.
-type planJSON struct {
-	Theta             float64       `json:"theta"`
-	TotalInstructions float64       `json:"total_instructions"`
-	TierInvocations   [3]int        `json:"tier_invocations"`
-	Sampled           bool          `json:"sampled"`
-	NumStrata         int           `json:"num_strata"`
-	Representatives   []int         `json:"representatives"`
-	Strata            []stratumJSON `json:"strata"`
-}
-
 func marshalPlan(p *sieve.Plan) ([]byte, error) {
-	out := planJSON{
+	out := api.Plan{
 		Theta:             p.Theta,
 		TotalInstructions: p.TotalInstructions,
 		TierInvocations:   p.TierInvocations,
 		Sampled:           p.Sampled,
 		NumStrata:         p.NumStrata(),
 		Representatives:   p.RepresentativeIndices(),
-		Strata:            make([]stratumJSON, len(p.Strata)),
+		Strata:            make([]api.Stratum, len(p.Strata)),
 	}
 	for i, s := range p.Strata {
-		out.Strata[i] = stratumJSON{
+		out.Strata[i] = api.Stratum{
 			Kernel:         s.Kernel,
 			Tier:           int(s.Tier),
 			Members:        len(s.Invocations),
@@ -570,40 +542,44 @@ func marshalPlan(p *sieve.Plan) ([]byte, error) {
 	return json.Marshal(out)
 }
 
-// respondDocument writes the {plan_id, cached, plan} envelope around an
-// already-marshaled document.
-func respondDocument(w http.ResponseWriter, id string, cached bool, doc []byte) {
+// respondDocument writes the api.PlanEnvelope around an already-marshaled
+// plan document. The envelope marshals to the exact bytes the service has
+// always answered ({"plan_id":…,"cached":…,"plan":…} + newline); coalesced
+// appears only when true, so non-coalesced responses are unchanged.
+func respondDocument(w http.ResponseWriter, id string, cached, coalesced bool, doc []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
-	var buf bytes.Buffer
-	fmt.Fprintf(&buf, `{"plan_id":%q,"cached":%v,"plan":`, id, cached)
-	buf.Write(doc)
-	buf.WriteString("}\n")
-	_, _ = w.Write(buf.Bytes())
+	buf, err := json.Marshal(api.PlanEnvelope{PlanID: id, Cached: cached, Coalesced: coalesced, Plan: doc})
+	if err != nil {
+		return
+	}
+	_, _ = w.Write(append(buf, '\n'))
 }
 
 // computePlan produces the marshaled plan for id, coalescing concurrent
 // misses on the same content hash onto one computation via the in-flight
 // table. The computation runs detached under its own RequestTimeout-bounded
 // context, so one client's disconnect cannot fail the requests coalesced
-// behind it; ctx still cancels this caller's wait individually. needSlot is
-// false when the caller already holds a worker slot (the batch path, which
-// acquires one slot for all its items). shared reports whether this call
-// joined an already-running flight.
-func (s *Server) computePlan(ctx context.Context, id string, needSlot bool, rv *resolved) (doc []byte, shared bool, err error) {
+// behind it; ctx still cancels this caller's wait individually. The worker
+// slot is acquired by the flight leader, inside the flight — never by a
+// caller that then waits. Slots strictly bound concurrent solver work; no
+// goroutine ever holds one while blocked on another flight, so a
+// slot-holder-waits-on-slot-waiter cycle cannot form (the batch path once
+// held a slot across item waits and deadlocked the server under
+// cache-hostile load). shared reports whether this call joined an
+// already-running flight.
+func (s *Server) computePlan(ctx context.Context, id string, rv *resolved) (doc []byte, shared bool, err error) {
 	res, shared, err := s.flights.do(ctx, id, func() flightResult {
 		if gate := s.preCompute; gate != nil {
 			gate(id)
 		}
 		cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), s.cfg.RequestTimeout)
 		defer cancel()
-		if needSlot {
-			release, err := s.acquireSlot(cctx)
-			if err != nil {
-				return flightResult{err: err}
-			}
-			defer release()
+		release, err := s.acquireSlot(cctx)
+		if err != nil {
+			return flightResult{err: err}
 		}
+		defer release()
 		s.metrics.Computations.Add(1)
 		plan, err := rv.samplePlan(cctx)
 		if err != nil {
@@ -644,7 +620,7 @@ func (s *Server) serveSample(w http.ResponseWriter, r *http.Request) int {
 	id := rv.key("sample")
 	if doc, ok := s.cache.get(id); ok {
 		s.metrics.CacheHits.Add(1)
-		respondDocument(w, id, true, doc)
+		respondDocument(w, id, true, false, doc)
 		return http.StatusOK
 	}
 	s.metrics.CacheMisses.Add(1)
@@ -662,26 +638,12 @@ func (s *Server) serveSample(w http.ResponseWriter, r *http.Request) int {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	doc, _, err := s.computePlan(ctx, id, true, rv)
+	doc, shared, err := s.computePlan(ctx, id, rv)
 	if err != nil {
 		return s.writeError(w, err)
 	}
-	respondDocument(w, id, false, doc)
+	respondDocument(w, id, false, shared, doc)
 	return http.StatusOK
-}
-
-// kernelSummaryJSON is the wire form of one kernel characterization row.
-type kernelSummaryJSON struct {
-	Kernel      string  `json:"kernel"`
-	Invocations int     `json:"invocations"`
-	Tier        int     `json:"tier"`
-	InstrMin    float64 `json:"instr_min"`
-	InstrMean   float64 `json:"instr_mean"`
-	InstrMax    float64 `json:"instr_max"`
-	InstrCoV    float64 `json:"instr_cov"`
-	InstrShare  float64 `json:"instr_share"`
-	DominantCTA int     `json:"dominant_cta"`
-	Strata      int     `json:"strata"`
 }
 
 func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
@@ -719,16 +681,16 @@ func (s *Server) serveCharacterize(w http.ResponseWriter, r *http.Request) int {
 		return s.writeError(w, err)
 	}
 	s.metrics.RowsIngested.Add(int64(len(rows)))
-	out := make([]kernelSummaryJSON, len(sums))
+	out := make([]api.KernelSummary, len(sums))
 	for i, k := range sums {
-		out[i] = kernelSummaryJSON{
+		out[i] = api.KernelSummary{
 			Kernel: k.Kernel, Invocations: k.Invocations, Tier: int(k.Tier),
 			InstrMin: k.InstrMin, InstrMean: k.InstrMean, InstrMax: k.InstrMax,
 			InstrCoV: k.InstrCoV, InstrShare: k.InstrShare,
 			DominantCTA: k.DominantCTA, Strata: k.Strata,
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"kernels": out})
+	writeJSON(w, http.StatusOK, api.CharacterizeResponse{Kernels: out})
 	return http.StatusOK
 }
 
@@ -746,7 +708,7 @@ func (s *Server) servePlanGet(w http.ResponseWriter, r *http.Request) int {
 	id := r.PathValue("id")
 	if doc, ok := s.cache.get(id); ok {
 		s.metrics.CacheHits.Add(1)
-		respondDocument(w, id, true, doc)
+		respondDocument(w, id, true, false, doc)
 		return http.StatusOK
 	}
 	if owner, ok := s.shardRing().ownedElsewhere(id); ok && !isForwarded(r) {
@@ -754,11 +716,11 @@ func (s *Server) servePlanGet(w http.ResponseWriter, r *http.Request) int {
 			s.cache.put(id, doc)
 			s.metrics.PeerFills.Add(1)
 			s.metrics.CacheHits.Add(1)
-			respondDocument(w, id, true, doc)
+			respondDocument(w, id, true, false, doc)
 			return http.StatusOK
 		}
 	}
 	s.metrics.Failures.Add(1)
-	writeJSON(w, http.StatusNotFound, map[string]string{"error": "plan not cached (recompute via POST /v1/sample)"})
+	writeJSON(w, http.StatusNotFound, &api.Error{Message: "plan not cached (recompute via POST /v1/sample)"})
 	return http.StatusNotFound
 }

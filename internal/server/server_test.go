@@ -12,6 +12,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/gpusampling/sieve/api"
 )
 
 // testCSV renders a small bimodal profile in the WriteProfileCSV wire
@@ -318,7 +320,7 @@ func TestCharacterize(t *testing.T) {
 		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
 	}
 	var doc struct {
-		Kernels []kernelSummaryJSON `json:"kernels"`
+		Kernels []api.KernelSummary `json:"kernels"`
 	}
 	if err := json.Unmarshal(body, &doc); err != nil {
 		t.Fatal(err)
@@ -342,11 +344,57 @@ func TestRequestTimeout(t *testing.T) {
 	}
 }
 
+// TestHealthz covers both response shapes: the JSON body with ring
+// membership and version, and the bare-string body legacy probes request via
+// Accept: text/plain.
 func TestHealthz(t *testing.T) {
-	ts := newTestServer(t, Config{})
-	var doc map[string]string
-	if status := getJSON(t, ts.URL+"/healthz", &doc); status != http.StatusOK || doc["status"] != "ok" {
-		t.Fatalf("healthz = %d %v", status, doc)
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	var doc api.Health
+	if status := getJSON(t, ts.URL+"/healthz", &doc); status != http.StatusOK || doc.Status != "ok" {
+		t.Fatalf("healthz = %d %+v", status, doc)
+	}
+	if doc.Version != api.Version {
+		t.Fatalf("healthz version = %q, want %q", doc.Version, api.Version)
+	}
+	if doc.Self != "" || len(doc.Peers) != 0 {
+		t.Fatalf("single-node healthz reports ring membership: %+v", doc)
+	}
+
+	// With a ring configured, membership is discoverable from the replica.
+	peer := "http://198.51.100.1:8372"
+	if err := srv.SetPeers(ts.URL, []string{peer}); err != nil {
+		t.Fatal(err)
+	}
+	if status := getJSON(t, ts.URL+"/healthz", &doc); status != http.StatusOK {
+		t.Fatalf("peered healthz status %d", status)
+	}
+	if doc.Self != ts.URL {
+		t.Fatalf("healthz self = %q, want %q", doc.Self, ts.URL)
+	}
+	if len(doc.Peers) != 2 {
+		t.Fatalf("healthz peers = %v, want self + 1 peer", doc.Peers)
+	}
+
+	// Old probes: Accept: text/plain gets exactly "ok".
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || string(body) != "ok" {
+		t.Fatalf("text/plain healthz = %d %q, want 200 \"ok\"", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("text/plain healthz content type %q", ct)
 	}
 }
 
@@ -587,6 +635,45 @@ func TestParallelismNotInCacheKey(t *testing.T) {
 	}
 	if string(env1.Plan) != string(env2.Plan) {
 		t.Fatal("plans differ across parallelism — cache sharing would be unsound")
+	}
+	var m metricsDoc
+	getJSON(t, ts.URL+"/debug/metrics", &m)
+	if m.Computations != 1 || m.CacheEntries != 1 {
+		t.Fatalf("computations = %d, cache_entries = %d, want 1, 1", m.Computations, m.CacheEntries)
+	}
+}
+
+// TestDefaultThetaSharesCacheEntry pins θ canonicalization in the content
+// hash: on the wire θ=0 means "paper default", so a request leaving θ unset
+// and one passing the default explicitly are the same plan and must share
+// one cache entry — not compute identical plans twice under two ids.
+func TestDefaultThetaSharesCacheEntry(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	csv := testCSV()
+
+	status, body1 := postCSV(t, ts.URL+"/v1/sample", csv)
+	if status != http.StatusOK {
+		t.Fatalf("unset-theta POST status = %d, body %s", status, body1)
+	}
+	status, body2 := postCSV(t, ts.URL+"/v1/sample?theta=0.4", csv)
+	if status != http.StatusOK {
+		t.Fatalf("explicit-theta POST status = %d, body %s", status, body2)
+	}
+	var env1, env2 sampleEnvelope
+	if err := json.Unmarshal(body1, &env1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(body2, &env2); err != nil {
+		t.Fatal(err)
+	}
+	if env1.PlanID != env2.PlanID {
+		t.Fatalf("default θ fragments the content hash: %s vs %s", env1.PlanID, env2.PlanID)
+	}
+	if !env2.Cached {
+		t.Fatal("explicit default-θ request missed the unset-θ cache entry")
+	}
+	if string(env1.Plan) != string(env2.Plan) {
+		t.Fatal("plans differ between unset and explicit default θ")
 	}
 	var m metricsDoc
 	getJSON(t, ts.URL+"/debug/metrics", &m)

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# bench_load.sh — refresh the checked-in BENCH_load.json.
+#
+# Starts two peered sieved replicas (a real consistent-hash ring, so the run
+# exercises proxying, peer cache fills and cross-replica plan GETs), then
+# drives them with cmd/sieveload: one zipfian pass and one uniform pass over
+# the same catalog, same seed, each against a cold cache (the harness salts
+# the plan keys per pass). The cache is deliberately smaller than the
+# catalog so the uniform pass thrashes while the zipfian hot set stays
+# resident — the contrast the report's cache_hit_rate/hot_rate columns are
+# there to show.
+#
+# Tunables (environment):
+#   DURATION  per-pass run length            (default 20s)
+#   RAMP      worker ramp schedule           (default 0:4,5s:24)
+#   BUDGET    shared concurrency budget      (default 32)
+#   CACHE     per-replica plan cache entries (default 12; catalog is 24)
+#   SEED      run seed                       (default 1)
+#   OUT       report destination             (default BENCH_load.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DURATION=${DURATION:-20s}
+RAMP=${RAMP:-0:4,5s:24}
+BUDGET=${BUDGET:-32}
+CACHE=${CACHE:-12}
+SEED=${SEED:-1}
+OUT=${OUT:-BENCH_load.json}
+
+BIN=$(mktemp -d)
+trap 'rm -rf "$BIN"' EXIT
+go build -o "$BIN/sieved" ./cmd/sieved
+go build -o "$BIN/sieveload" ./cmd/sieveload
+
+A=http://127.0.0.1:8372
+B=http://127.0.0.1:8373
+"$BIN/sieved" -addr 127.0.0.1:8372 -self "$A" -peers "$A,$B" -cache "$CACHE" -log-level warn &
+PID_A=$!
+"$BIN/sieved" -addr 127.0.0.1:8373 -self "$B" -peers "$A,$B" -cache "$CACHE" -log-level warn &
+PID_B=$!
+trap 'kill "$PID_A" "$PID_B" 2>/dev/null; rm -rf "$BIN"' EXIT
+
+for url in "$A" "$B"; do
+  for _ in $(seq 1 50); do
+    curl -fsS "$url/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+  done
+  curl -fsS "$url/healthz" >/dev/null
+done
+
+"$BIN/sieveload" \
+  -targets "$A,$B" \
+  -workloads sample,sample-csv,batch,planfetch \
+  -mode closed \
+  -duration "$DURATION" \
+  -ramp "$RAMP" \
+  -budget "$BUDGET" \
+  -dist zipfian,uniform \
+  -seed "$SEED" \
+  -out "$OUT"
+
+echo "load report written to $OUT"
