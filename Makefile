@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race bench bench-compare bench-stream bench-serve bench-obs bench-load bench-all loadtest vet fmt fuzz-smoke serve experiments record report clean
+.PHONY: all build test test-short test-race bench bench-compare bench-stream bench-serve bench-obs bench-load bench-sampler bench-all loadtest vet fmt fuzz-smoke serve experiments record report clean
 
 all: build test
 
@@ -80,6 +80,15 @@ loadtest:
 # tunables).
 bench-load:
 	./scripts/bench_load.sh
+
+# Per-methodology planning cost: one sub-benchmark per registered sampling
+# strategy (sieve, pks, twophase, rss — BenchmarkSamplerPlan iterates the
+# registry, so a new strategy shows up automatically), recorded to
+# BENCH_sampler.json. See docs/sampling-methods.md.
+bench-sampler:
+	$(GO) test -run XXX -bench 'BenchmarkSamplerPlan' \
+		-benchmem -benchtime 10x -json ./internal/sampler > BENCH_sampler.json
+	@echo "benchmark event stream written to BENCH_sampler.json"
 
 # Sample observability report + Chrome trace for the checked-in lmc fixture
 # (CI runs the same as a smoke test of the -report/-trace-out surface).

@@ -19,7 +19,7 @@ import (
 
 // Version identifies the sieved API generation, reported by GET /healthz.
 // It versions the wire protocol, not the build.
-const Version = "v1.8"
+const Version = "v1.9"
 
 // RequestOptions is the wire form of the sampling knobs. Zero values select
 // the paper defaults, mirroring sieve.Options.
@@ -47,6 +47,15 @@ type RequestOptions struct {
 	// Arch picks the hardware model for workload-mode profiling (ampere
 	// default, turing).
 	Arch string `json:"arch,omitempty"`
+	// Method selects the sampling methodology: "sieve" (default — also
+	// selected by the empty string), "pks", "twophase" or "rss". Non-default
+	// methods are canonicalized into the plan's content hash, so the same
+	// source sampled under two methods yields two distinct plan ids; the
+	// default is hashed exactly as before, keeping existing plan ids stable.
+	// "pks" requires workload mode (its feature vectors and golden reference
+	// are profiled server-side); no method other than "sieve" supports
+	// stream mode.
+	Method string `json:"method,omitempty"`
 }
 
 // SampleRequest is the JSON envelope accepted by /v1/sample and
@@ -89,7 +98,10 @@ type Stratum struct {
 	InstructionSum float64 `json:"instruction_sum"`
 }
 
-// Plan is the wire form of a sampling plan.
+// Plan is the wire form of a sampling plan. Method and ErrorInterval were
+// added for the pluggable-methodology subsystem; both are omitted for
+// default-method plans, so documents produced before the subsystem existed
+// are byte-identical to today's default output.
 type Plan struct {
 	Theta             float64   `json:"theta"`
 	TotalInstructions float64   `json:"total_instructions"`
@@ -98,6 +110,29 @@ type Plan struct {
 	NumStrata         int       `json:"num_strata"`
 	Representatives   []int     `json:"representatives"`
 	Strata            []Stratum `json:"strata"`
+	// Method names the methodology that built the plan ("pks", "twophase",
+	// "rss"); absent for the default Sieve sampler.
+	Method string `json:"method,omitempty"`
+	// ErrorInterval is the methodology-supplied confidence interval on the
+	// plan's relative estimation error; absent when the methodology does not
+	// quantify its own uncertainty.
+	ErrorInterval *ErrorInterval `json:"error_interval,omitempty"`
+}
+
+// ErrorInterval is the wire form of a plan's error confidence interval. All
+// quantities are relative (0.01 = 1%).
+type ErrorInterval struct {
+	// Mean is the central estimate of the relative error (mean signed
+	// resample error, or 0 for analytic variance-derived intervals).
+	Mean float64 `json:"mean"`
+	// StdErr is the standard error of Mean.
+	StdErr float64 `json:"std_err"`
+	// Low and High bound the interval (Mean ± 2·StdErr).
+	Low  float64 `json:"low"`
+	High float64 `json:"high"`
+	// Resamples is the repeated-subsampling count behind the interval; 0
+	// marks an analytic (variance-derived) interval.
+	Resamples int `json:"resamples,omitempty"`
 }
 
 // BatchRequest is the wire form of POST /v1/batch: stratify many profiles in
@@ -178,20 +213,24 @@ type LatencyMS struct {
 // a compatibility contract (dashboards parse it); the server's
 // TestDebugMetricsJSONShape pins it.
 type DebugMetrics struct {
-	Requests     int64     `json:"requests"`
-	Failures     int64     `json:"failures"`
-	CacheHits    int64     `json:"cache_hits"`
-	CacheMisses  int64     `json:"cache_misses"`
-	CacheEntries int64     `json:"cache_entries"`
-	Computations int64     `json:"computations"`
-	Coalesced    int64     `json:"coalesced"`
-	BatchItems   int64     `json:"batch_items"`
-	PeerFills    int64     `json:"peer_fills"`
-	PeerProxied  int64     `json:"peer_proxied"`
-	InFlight     int64     `json:"in_flight"`
-	Rejected     int64     `json:"rejected"`
-	RowsIngested int64     `json:"rows_ingested"`
-	LatencyMS    LatencyMS `json:"latency_ms"`
+	Requests     int64 `json:"requests"`
+	Failures     int64 `json:"failures"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	CacheEntries int64 `json:"cache_entries"`
+	Computations int64 `json:"computations"`
+	Coalesced    int64 `json:"coalesced"`
+	BatchItems   int64 `json:"batch_items"`
+	PeerFills    int64 `json:"peer_fills"`
+	PeerProxied  int64 `json:"peer_proxied"`
+	InFlight     int64 `json:"in_flight"`
+	Rejected     int64 `json:"rejected"`
+	RowsIngested int64 `json:"rows_ingested"`
+	// MethodRequests counts sample requests per resolved sampling
+	// methodology, keyed by canonical method name ("sieve", "pks", …). The
+	// map grows as methods are first requested.
+	MethodRequests map[string]int64 `json:"method_requests"`
+	LatencyMS      LatencyMS        `json:"latency_ms"`
 }
 
 // Error is the JSON body of every failed request: {"error": "..."}. It

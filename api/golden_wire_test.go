@@ -1,0 +1,133 @@
+package api_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/gpusampling/sieve/api"
+)
+
+// These tests pin the JSON bytes of the wire types around the sampling-
+// methodology fields. The encoding is a compatibility contract: field order
+// follows struct declaration order, and the method/error_interval fields are
+// omitted when unset, so documents exchanged before the methodology subsystem
+// existed marshal byte-identically today. A failure here means the wire
+// format changed — do not re-golden without bumping api.Version and auditing
+// every consumer.
+
+func marshal(t *testing.T, v any) string {
+	t.Helper()
+	buf, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(buf)
+}
+
+// TestGoldenRequestOptionsMethodOmitted pins the pre-subsystem request bytes:
+// options without a method must not mention one.
+func TestGoldenRequestOptionsMethodOmitted(t *testing.T) {
+	got := marshal(t, api.SampleRequest{
+		Workload: "lmc",
+		Scale:    0.05,
+		Options:  api.RequestOptions{Theta: 0.4, Seed: 7},
+	})
+	want := `{"workload":"lmc","scale":0.05,"options":{"theta":0.4,"seed":7}}`
+	if got != want {
+		t.Errorf("request bytes drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestGoldenRequestOptionsMethod pins where the method field lands: last in
+// options, after every pre-existing knob.
+func TestGoldenRequestOptionsMethod(t *testing.T) {
+	got := marshal(t, api.SampleRequest{
+		Workload: "lmc",
+		Options:  api.RequestOptions{Theta: 0.4, Arch: "turing", Method: "twophase"},
+	})
+	want := `{"workload":"lmc","options":{"theta":0.4,"arch":"turing","method":"twophase"}}`
+	if got != want {
+		t.Errorf("request bytes drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestGoldenPlanDefaultMethodOmitted pins the default-method plan document:
+// no method key, no error_interval key — byte-identical to plans served
+// before the subsystem existed.
+func TestGoldenPlanDefaultMethodOmitted(t *testing.T) {
+	got := marshal(t, api.Plan{
+		Theta:             0.4,
+		TotalInstructions: 1000,
+		TierInvocations:   [3]int{1, 2, 0},
+		NumStrata:         1,
+		Representatives:   []int{0},
+		Strata: []api.Stratum{{
+			Kernel:         "k",
+			Tier:           1,
+			Members:        3,
+			Invocations:    []int{0, 1, 2},
+			Representative: 0,
+			Weight:         1,
+			InstructionSum: 1000,
+		}},
+	})
+	want := `{"theta":0.4,"total_instructions":1000,"tier_invocations":[1,2,0],"sampled":false,` +
+		`"num_strata":1,"representatives":[0],"strata":[{"kernel":"k","tier":1,"members":3,` +
+		`"invocations":[0,1,2],"representative":0,"weight":1,"instruction_sum":1000}]}`
+	if got != want {
+		t.Errorf("plan bytes drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestGoldenPlanMethodAndInterval pins the extended plan document: method and
+// error_interval trail the pre-existing fields, and a zero Resamples (an
+// analytic interval) is omitted inside the interval.
+func TestGoldenPlanMethodAndInterval(t *testing.T) {
+	plan := api.Plan{
+		Theta:           0.4,
+		TierInvocations: [3]int{0, 0, 0},
+		Method:          "rss",
+		ErrorInterval: &api.ErrorInterval{
+			Mean:      0.01,
+			StdErr:    0.005,
+			Low:       0,
+			High:      0.02,
+			Resamples: 16,
+		},
+	}
+	got := marshal(t, plan)
+	want := `{"theta":0.4,"total_instructions":0,"tier_invocations":[0,0,0],"sampled":false,` +
+		`"num_strata":0,"representatives":null,"strata":null,"method":"rss",` +
+		`"error_interval":{"mean":0.01,"std_err":0.005,"low":0,"high":0.02,"resamples":16}}`
+	if got != want {
+		t.Errorf("plan bytes drifted:\n got %s\nwant %s", got, want)
+	}
+
+	plan.ErrorInterval.Resamples = 0
+	got = marshal(t, plan)
+	want = `{"theta":0.4,"total_instructions":0,"tier_invocations":[0,0,0],"sampled":false,` +
+		`"num_strata":0,"representatives":null,"strata":null,"method":"rss",` +
+		`"error_interval":{"mean":0.01,"std_err":0.005,"low":0,"high":0.02}}`
+	if got != want {
+		t.Errorf("analytic-interval bytes drifted:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestGoldenRoundTrip checks the extended fields survive an
+// unmarshal/marshal cycle, so proxies that re-encode envelopes do not strip
+// the methodology metadata.
+func TestGoldenRoundTrip(t *testing.T) {
+	in := `{"workload":"lmc","options":{"method":"pks","seed":3}}`
+	var req api.SampleRequest
+	if err := json.Unmarshal([]byte(in), &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Options.Method != "pks" {
+		t.Fatalf("method lost in decode: %+v", req.Options)
+	}
+	got := marshal(t, req)
+	want := `{"workload":"lmc","options":{"seed":3,"method":"pks"}}`
+	if got != want {
+		t.Errorf("round-trip bytes drifted:\n got %s\nwant %s", got, want)
+	}
+}

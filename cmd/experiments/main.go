@@ -35,6 +35,7 @@ func main() {
 		theta      = cliflags.Theta(flag.CommandLine)
 		seed       = cliflags.Seed(flag.CommandLine)
 		workers    = cliflags.Parallelism(flag.CommandLine, "workers")
+		method     = flag.String("method", "", "comma-separated sampling methodologies for the accuracy tables (empty = every registered strategy)")
 		logLevel   = cliflags.LogLevel(flag.CommandLine)
 	)
 	stream, reservoir := cliflags.Stream(flag.CommandLine)
@@ -54,6 +55,7 @@ func main() {
 	r := experiments.NewRunner(experiments.Config{
 		Scale: *scale, Theta: *theta, Seed: *seed, Parallelism: *workers,
 		Stream: *stream, ReservoirSize: *reservoir, Ctx: ctx,
+		Methods: cliflags.SplitList(*method),
 	})
 	ids := strings.Split(strings.ToLower(*experiment), ",")
 	if len(ids) == 1 && ids[0] == "all" {

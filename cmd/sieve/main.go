@@ -20,6 +20,9 @@ import (
 
 	"github.com/gpusampling/sieve"
 	"github.com/gpusampling/sieve/internal/cliflags"
+	"github.com/gpusampling/sieve/internal/core"
+	"github.com/gpusampling/sieve/internal/pks"
+	"github.com/gpusampling/sieve/internal/sampler"
 )
 
 func main() {
@@ -36,6 +39,8 @@ func main() {
 		validate     = flag.Bool("validate", true, "measure the full run and report prediction error (needs -workload)")
 		characterize = flag.Bool("characterize", false, "print the per-kernel workload characterization")
 		parallelism  = cliflags.Parallelism(flag.CommandLine)
+		method       = cliflags.Method(flag.CommandLine)
+		seed         = cliflags.Seed(flag.CommandLine)
 		logLevel     = cliflags.LogLevel(flag.CommandLine)
 	)
 	stream, reservoir := cliflags.Stream(flag.CommandLine)
@@ -55,6 +60,7 @@ func main() {
 		ProfileIn: *profileIn, ProfileOut: *profileOut,
 		Validate: *validate, Parallelism: *parallelism,
 		Stream: *stream, Reservoir: *reservoir,
+		Method: *method, Seed: *seed,
 		Report: *report, TraceOut: *traceOut,
 	}
 	if err := run(cfg); err != nil {
@@ -73,6 +79,8 @@ type runConfig struct {
 	Parallelism            int
 	Stream                 bool
 	Reservoir              int
+	Method                 string
+	Seed                   int64
 	Report, TraceOut       string
 }
 
@@ -113,6 +121,13 @@ func run(cfg runConfig) error {
 	}
 	if cfg.Stream && profileIn != "" && profileOut != "" {
 		return fmt.Errorf("-profile-out needs a materialized profile; drop it or drop -stream")
+	}
+	method := sampler.Canonical(cfg.Method)
+	if _, err := sampler.New(method); err != nil {
+		return err
+	}
+	if method != core.MethodSieve && cfg.Stream {
+		return fmt.Errorf("-method %s does not support -stream (only the default sieve sampler streams)", method)
 	}
 
 	// -report / -trace-out attach an observability collector to the context the
@@ -211,6 +226,27 @@ func run(cfg runConfig) error {
 		if err != nil {
 			return err
 		}
+	case method != core.MethodSieve:
+		mp := &sieve.MethodProfile{Rows: sieve.ProfileRows(profile)}
+		if method == sampler.MethodPKS {
+			if w == nil {
+				return fmt.Errorf("-method pks needs a generated workload (-workload or -spec): its feature vectors and golden cycle reference come from full profiling")
+			}
+			full, err := sieve.ProfileFull(w, hw)
+			if err != nil {
+				return err
+			}
+			mp.Features = sieve.FeatureRows(full)
+			mp.GoldenCycles = hw.MeasureWorkload(w)
+		}
+		plan, err = sieve.SampleMethodContext(ctx, method, mp, sieve.MethodOptions{
+			Core: opts,
+			Seed: cfg.Seed,
+			PKS:  pks.Options{Seed: cfg.Seed, Parallelism: cfg.Parallelism},
+		})
+		if err != nil {
+			return err
+		}
 	default:
 		plan, err = sieve.SampleContext(ctx, sieve.ProfileRows(profile), opts)
 		if err != nil {
@@ -229,6 +265,18 @@ func run(cfg runConfig) error {
 		}
 	}
 	printPlan(plan)
+	if plan.Method != "" {
+		fmt.Printf("methodology: %s (seed %d)\n", plan.Method, cfg.Seed)
+	}
+	if iv := plan.Interval; iv != nil {
+		if iv.Resamples > 0 {
+			fmt.Printf("resampled error interval (%d resamples): %.3f%% ± %.3f%%, 2σ band [%.3f%%, %.3f%%]\n",
+				iv.Resamples, 100*iv.Mean, 100*iv.StdErr, 100*iv.Low, 100*iv.High)
+		} else {
+			fmt.Printf("analytic error interval: ±%.3f%% (2σ band [%.3f%%, %.3f%%])\n",
+				100*iv.StdErr, 100*iv.Low, 100*iv.High)
+		}
+	}
 	if bound, err := plan.EstimateErrorBound(); err == nil {
 		fmt.Printf("\nheuristic uncertainty (no golden reference): ±%.2f%% (2σ); worst stratum %s (%.0f%% of variance)\n",
 			100*bound.TwoSigma, bound.WorstStratum, 100*bound.WorstContribution)

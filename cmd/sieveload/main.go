@@ -69,6 +69,8 @@ func main() {
 			"comma-separated Table I workload names forming the profile catalog")
 		scalesF = flag.String("scales", "0.25,0.5,1",
 			"comma-separated scale factors crossed with -profiles (catalog size = names × scales)")
+		methodsF = flag.String("methods", "",
+			"comma-separated sampling-methodology pool drawn per workload-mode request (e.g. sieve,twophase,rss; empty = server default; non-default methods cache under distinct plan ids)")
 		snapshot = flag.Duration("snapshot", 5*time.Second, "period between progress lines on stderr (0 = silent)")
 		out      = flag.String("out", "BENCH_load.json", "report destination ('-' = stdout, '' = none)")
 		theta    = cliflags.Theta(flag.CommandLine)
@@ -131,6 +133,7 @@ func main() {
 			// would otherwise measure the previous pass's warm cache.
 			Seed:     *seed + int64(i)*1_000_000_007,
 			Theta:    *theta,
+			Methods:  cliflags.SplitList(*methodsF),
 			Timeout:  *timeout,
 			Catalog:  catalog,
 			Snapshot: *snapshot,

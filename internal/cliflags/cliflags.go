@@ -17,6 +17,7 @@ import (
 
 	"github.com/gpusampling/sieve/internal/core"
 	"github.com/gpusampling/sieve/internal/obs"
+	"github.com/gpusampling/sieve/internal/sampler"
 )
 
 // Canonical help text, shared verbatim by every tool.
@@ -70,6 +71,15 @@ func Scale(fs *flag.FlagSet, def float64) *float64 {
 // Arch registers the shared -arch flag.
 func Arch(fs *flag.FlagSet) *string {
 	return fs.String("arch", "ampere", archHelp)
+}
+
+// Method registers the shared -method flag selecting the sampling
+// methodology. The help text enumerates whatever strategies the binary
+// actually links (the sampler registry is populated by package init), so it
+// never drifts from the registered set.
+func Method(fs *flag.FlagSet) *string {
+	return fs.String("method", core.MethodSieve,
+		"sampling methodology: "+strings.Join(sampler.Names(), ", "))
 }
 
 // Stream registers the shared -stream / -reservoir streaming-mode pair.

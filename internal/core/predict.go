@@ -45,6 +45,7 @@ func (r *Result) PredictContext(ctx context.Context, cycles CycleSource) (*Predi
 	}
 	ipcs := make([]float64, len(r.Strata))
 	weights := make([]float64, len(r.Strata))
+	repCycles := make([]float64, len(r.Strata))
 	var repTotal float64
 	for i := range r.Strata {
 		if err := ctx.Err(); err != nil {
@@ -64,7 +65,22 @@ func (r *Result) PredictContext(ctx context.Context, cycles CycleSource) (*Predi
 		}
 		ipcs[i] = rep.InstructionCount / c
 		weights[i] = s.Weight
+		repCycles[i] = c
 		repTotal += c
+	}
+	if r.CountWeighted {
+		// Count-weighted estimator (PKS): each representative stands in for
+		// every member of its stratum cycle-for-cycle, so predicted total
+		// cycles are Σ members × representative cycles and IPC follows.
+		var total float64
+		for i := range r.Strata {
+			total += float64(len(r.Strata[i].Invocations)) * repCycles[i]
+		}
+		return &Prediction{
+			IPC:                  r.TotalInstructions / total,
+			Cycles:               total,
+			RepresentativeCycles: repTotal,
+		}, nil
 	}
 	ipc, err := stats.WeightedHarmonicMean(ipcs, weights)
 	if err != nil {

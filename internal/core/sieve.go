@@ -163,7 +163,21 @@ type Options struct {
 	// 0 selects DefaultMinParallelWork; negative is an error. Set to 1 to
 	// force the worker pool on any profile.
 	MinParallelWork int
+	// Method names the sampling methodology that should build the plan.
+	// core.Stratify implements only the paper's stratified sampler and
+	// accepts "" or MethodSieve; every other registered method ("pks",
+	// "twophase", "rss", …) is dispatched by the sieve.Sample entry points
+	// or the internal/sampler registry before core is reached, so a foreign
+	// method arriving here is a programming error and fails loudly instead
+	// of silently producing a default-method plan.
+	Method string
 }
+
+// MethodSieve names the default methodology: the paper's stratified sampler
+// implemented by this package. An empty Options.Method means the same thing,
+// and plans it produces leave Result.Method empty so legacy plan documents
+// and cache keys stay byte-stable.
+const MethodSieve = "sieve"
 
 // DefaultMinParallelWork is the profile-row threshold below which the
 // per-kernel worker pool is skipped. BenchmarkStratify on the default
@@ -192,6 +206,11 @@ func (o Options) withDefaults() (Options, error) {
 	case SplitKDE, SplitEqualWidth, SplitGMM:
 	default:
 		return o, fmt.Errorf("core: unknown splitter %d", o.Tier3Splitter)
+	}
+	switch o.Method {
+	case "", MethodSieve:
+	default:
+		return o, fmt.Errorf("core: method %q is not implemented by core.Stratify; dispatch through sieve.Sample or the internal/sampler registry", o.Method)
 	}
 	if o.Parallelism == 0 {
 		o.Parallelism = runtime.GOMAXPROCS(0)
@@ -243,6 +262,23 @@ type Result struct {
 	// invocation. Plans built by Stratify, and streaming plans where every
 	// kernel fit its reservoir, are exact and leave this false.
 	Sampled bool
+	// Method names the methodology that produced the plan. Empty means the
+	// default Sieve stratified sampler — kept empty (rather than "sieve") so
+	// plans from the pre-registry code paths and plans routed through the
+	// default strategy stay byte-identical.
+	Method string
+	// Interval, when non-nil, carries a methodology-supplied confidence
+	// interval on the plan's relative estimation error (e.g. ranked-set
+	// resampling or two-phase pilot-variance analysis). The default sampler
+	// leaves it nil.
+	Interval *ErrorInterval
+	// CountWeighted marks plans whose estimator extrapolates by invocation
+	// count — predicted cycles = Σ over strata of (member count ×
+	// representative cycles), the PKS estimator — instead of Sieve's
+	// instruction-share weighted harmonic-mean IPC. Set by methodologies
+	// that cluster across kernels, where instruction-share weighting is not
+	// the native semantics.
+	CountWeighted bool
 	// byIndex retains the input rows needed for prediction (keyed by
 	// global invocation Index). Exhaustive for materialized plans; retained
 	// rows plus representatives for sampled streaming plans.

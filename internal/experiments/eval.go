@@ -14,8 +14,14 @@ import (
 	"github.com/gpusampling/sieve/internal/gpu"
 	"github.com/gpusampling/sieve/internal/pks"
 	"github.com/gpusampling/sieve/internal/profiler"
+	"github.com/gpusampling/sieve/internal/sampler"
 	"github.com/gpusampling/sieve/internal/stats"
 	"github.com/gpusampling/sieve/internal/workloads"
+
+	// Link the alternate sampling methodologies into the evaluation so the
+	// accuracy tables can compare every registered strategy.
+	_ "github.com/gpusampling/sieve/internal/sampler/rss"
+	_ "github.com/gpusampling/sieve/internal/sampler/twophase"
 )
 
 // Config holds the experiment-wide knobs.
@@ -45,6 +51,28 @@ type Config struct {
 	// attach an obs.Collector to it (cmd/experiments -report/-trace-out) to
 	// record per-stage spans across all experiments. Nil means Background.
 	Ctx context.Context
+	// Methods restricts which sampling methodologies the accuracy
+	// comparisons evaluate (canonical names, e.g. "sieve", "pks",
+	// "twophase", "rss"); nil or empty selects every registered strategy.
+	// Sieve and PKS are always prepared regardless — the other figures
+	// need their plans — so the filter only prunes the extra strategies.
+	Methods []string
+}
+
+// methodNames resolves the methodology list for the accuracy comparisons:
+// the configured subset, or every registered strategy with the two paper
+// baselines leading for readable tables.
+func (c Config) methodNames() []string {
+	if len(c.Methods) > 0 {
+		return c.Methods
+	}
+	names := []string{core.MethodSieve, sampler.MethodPKS}
+	for _, n := range sampler.Names() {
+		if n != core.MethodSieve && n != sampler.MethodPKS {
+			names = append(names, n)
+		}
+	}
+	return names
 }
 
 // ctx returns the configured context, defaulting to Background.
@@ -114,6 +142,38 @@ type Evaluation struct {
 	PKSSpeedup  float64
 	PKSCoV      float64
 	PKSClusters int
+
+	// Methods is the full methodology comparison (sieve and pks included,
+	// mirroring the legacy fields above), one entry per evaluated strategy in
+	// table order.
+	Methods []MethodEval
+}
+
+// MethodEval is one sampling methodology's accuracy on one workload.
+type MethodEval struct {
+	// Method is the canonical registry name.
+	Method string
+	// Error is |predicted-measured|/measured cycles.
+	Error float64
+	// Units is the number of sampling units backing the plan (strata for the
+	// stratified methods, clusters for pks).
+	Units int
+	// Interval is the methodology's own error confidence interval, when the
+	// strategy quantifies one (twophase, rss); nil otherwise.
+	Interval *core.ErrorInterval
+}
+
+// methodRows returns the evaluation's per-method comparison, synthesizing
+// the two legacy columns for evaluations built before Methods existed (or
+// synthetic test fixtures that only populate them).
+func (ev *Evaluation) methodRows() []MethodEval {
+	if len(ev.Methods) > 0 {
+		return ev.Methods
+	}
+	return []MethodEval{
+		{Method: core.MethodSieve, Error: ev.SieveError, Units: ev.SieveStrata},
+		{Method: sampler.MethodPKS, Error: ev.PKSError, Units: ev.PKSClusters},
+	}
 }
 
 // prepared bundles the expensive per-workload artifacts shared by the
@@ -131,6 +191,11 @@ type prepared struct {
 	features    [][]float64
 	pks         *pks.Result
 	fullProfSec float64 // modeled 12-metric profiling time
+
+	// methodPlans holds the registry-built plans of the extra strategies
+	// (twophase, rss, …) keyed by method name; sieve and pks live in their
+	// dedicated fields above.
+	methodPlans map[string]*core.Result
 }
 
 // prepare generates the workload and runs both sampling pipelines on the
@@ -172,7 +237,57 @@ func prepare(spec workloads.Spec, cfg Config) (*prepared, error) {
 	if err != nil {
 		return nil, err
 	}
+
+	// Extra strategies from the sampler registry (twophase, rss, …), planned
+	// from the same rows so the accuracy tables compare methodologies on
+	// identical inputs.
+	p.methodPlans = make(map[string]*core.Result)
+	sp := &sampler.Profile{Rows: p.sieveProfile, Features: p.features, GoldenCycles: p.golden}
+	for _, m := range cfg.methodNames() {
+		if m == core.MethodSieve || m == sampler.MethodPKS {
+			continue
+		}
+		plan, err := sampler.Run(cfg.ctx(), m, sp, sampler.Options{
+			Core: core.Options{Theta: cfg.Theta, Parallelism: cfg.Parallelism},
+			Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %s plan: %w", spec.Name, m, err)
+		}
+		p.methodPlans[m] = plan
+	}
 	return p, nil
+}
+
+// methodEvals builds the per-methodology accuracy rows for one prepared
+// workload, reusing the already-computed sieve and pks errors.
+func (p *prepared) methodEvals(cfg Config, sieveErr, pksErr float64) ([]MethodEval, error) {
+	src := cyclesFrom(p.golden)
+	var out []MethodEval
+	for _, m := range cfg.methodNames() {
+		switch m {
+		case core.MethodSieve:
+			out = append(out, MethodEval{Method: m, Error: sieveErr, Units: p.sieve.NumStrata()})
+		case sampler.MethodPKS:
+			out = append(out, MethodEval{Method: m, Error: pksErr, Units: p.pks.K})
+		default:
+			plan, ok := p.methodPlans[m]
+			if !ok {
+				return nil, fmt.Errorf("method %q was not prepared (configured after Warm?)", m)
+			}
+			pred, err := plan.Predict(src)
+			if err != nil {
+				return nil, fmt.Errorf("%s predict: %w", m, err)
+			}
+			out = append(out, MethodEval{
+				Method:   m,
+				Error:    relErr(pred.Cycles, p.total),
+				Units:    plan.NumStrata(),
+				Interval: plan.Interval,
+			})
+		}
+	}
+	return out, nil
 }
 
 // SieveProfile converts a profiler table into Sieve's input rows.
@@ -251,6 +366,9 @@ func EvaluateWorkload(spec workloads.Spec, cfg Config) (*Evaluation, error) {
 	}
 	if ev.PKSCoV, err = p.pks.WeightedCycleCoV(p.golden); err != nil {
 		return nil, err
+	}
+	if ev.Methods, err = p.methodEvals(cfg, ev.SieveError, ev.PKSError); err != nil {
+		return nil, fmt.Errorf("%s: %w", spec.Name, err)
 	}
 	return ev, nil
 }

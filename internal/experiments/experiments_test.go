@@ -361,7 +361,7 @@ func TestStreamConfigMatchesMaterialized(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *evExact != *evStream {
+	if !reflect.DeepEqual(evExact, evStream) {
 		t.Fatalf("evaluations diverge:\n exact  %+v\n stream %+v", evExact, evStream)
 	}
 }

@@ -131,23 +131,47 @@ func (r *Runner) Fig8() ([]*Evaluation, error) {
 	return r.Evaluations(traditionalNames())
 }
 
-// RenderAccuracy formats an accuracy comparison (Fig. 3 and Fig. 8).
+// RenderAccuracy formats an accuracy comparison (Fig. 3 and Fig. 8) in long
+// form: one row per (workload, methodology), labeled by an explicit
+// methodology column rather than positional per-method headers, so the table
+// stays readable however many strategies an evaluation carries. Strategies
+// that quantify their own uncertainty additionally show their 2σ interval.
+// Per-method average and max rows close the table.
 func RenderAccuracy(title string, evs []*Evaluation, paperNote string) *Table {
 	t := &Table{
 		Title:  title,
-		Header: []string{"workload", "suite", "Sieve error", "PKS error"},
+		Header: []string{"workload", "suite", "methodology", "error", "units", "2σ interval"},
 	}
-	var sSum, pSum, sMax, pMax float64
+	// Aggregate per methodology, in order of first appearance.
+	var order []string
+	sums := make(map[string]float64)
+	maxs := make(map[string]float64)
+	counts := make(map[string]int)
+	interval := func(me MethodEval) string {
+		if me.Interval == nil {
+			return "-"
+		}
+		return fmt.Sprintf("[%+.2f%%, %+.2f%%]", 100*me.Interval.Low, 100*me.Interval.High)
+	}
 	for _, ev := range evs {
-		t.Rows = append(t.Rows, []string{ev.Name, ev.Suite, pct(ev.SieveError), pct(ev.PKSError)})
-		sSum += ev.SieveError
-		pSum += ev.PKSError
-		sMax = max(sMax, ev.SieveError)
-		pMax = max(pMax, ev.PKSError)
+		for _, me := range ev.methodRows() {
+			t.Rows = append(t.Rows, []string{
+				ev.Name, ev.Suite, me.Method, pct(me.Error), fmt.Sprintf("%d", me.Units), interval(me),
+			})
+			if counts[me.Method] == 0 {
+				order = append(order, me.Method)
+			}
+			counts[me.Method]++
+			sums[me.Method] += me.Error
+			maxs[me.Method] = max(maxs[me.Method], me.Error)
+		}
 	}
-	n := float64(len(evs))
-	t.Rows = append(t.Rows, []string{"average", "", pct(sSum / n), pct(pSum / n)})
-	t.Rows = append(t.Rows, []string{"max", "", pct(sMax), pct(pMax)})
+	for _, m := range order {
+		t.Rows = append(t.Rows, []string{"average", "", m, pct(sums[m] / float64(counts[m])), "", ""})
+	}
+	for _, m := range order {
+		t.Rows = append(t.Rows, []string{"max", "", m, pct(maxs[m]), "", ""})
+	}
 	t.Notes = append(t.Notes, paperNote)
 	return t
 }

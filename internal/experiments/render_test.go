@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/gpusampling/sieve/internal/core"
 )
 
 // Render functions are pure formatting; feed them synthetic rows and check
@@ -34,13 +36,42 @@ func syntheticEvaluations() []*Evaluation {
 
 func TestRenderAccuracyStructure(t *testing.T) {
 	tab := RenderAccuracy("title", syntheticEvaluations(), "note")
-	if len(tab.Rows) != 5 { // 3 workloads + average + max
+	// Long form: 3 workloads × 2 methods (legacy fields synthesize
+	// sieve+pks) + per-method average and max rows.
+	if len(tab.Rows) != 3*2+2+2 {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
 	out := renderToString(t, tab)
-	for _, want := range []string{"alpha", "average", "max", "note"} {
+	for _, want := range []string{"alpha", "methodology", "sieve", "pks", "average", "max", "note"} {
 		if !strings.Contains(out, want) {
-			t.Fatalf("missing %q in rendered table", want)
+			t.Fatalf("missing %q in rendered table:\n%s", want, out)
+		}
+	}
+}
+
+// TestRenderAccuracyMethodColumn checks the 4-method long form: every
+// methodology is labeled in its own column, and interval-bearing strategies
+// show their 2σ band.
+func TestRenderAccuracyMethodColumn(t *testing.T) {
+	evs := []*Evaluation{{
+		Name: "alpha", Suite: "Cactus",
+		Methods: []MethodEval{
+			{Method: "sieve", Error: 0.01, Units: 10},
+			{Method: "pks", Error: 0.2, Units: 5},
+			{Method: "twophase", Error: 0.02, Units: 20,
+				Interval: &core.ErrorInterval{Low: -0.05, High: 0.05}},
+			{Method: "rss", Error: 0.03, Units: 10,
+				Interval: &core.ErrorInterval{Mean: 0.01, Low: -0.01, High: 0.03, Resamples: 16}},
+		},
+	}}
+	tab := RenderAccuracy("title", evs, "note")
+	if len(tab.Rows) != 4+4+4 { // 1 workload × 4 methods + averages + maxes
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	out := renderToString(t, tab)
+	for _, want := range []string{"twophase", "rss", "[-5.00%, +5.00%]", "[-1.00%, +3.00%]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in rendered table:\n%s", want, out)
 		}
 	}
 }

@@ -152,6 +152,9 @@ func (r *Runner) evaluate(name string) (*Evaluation, error) {
 	if ev.PKSCoV, err = p.pks.WeightedCycleCoV(p.golden); err != nil {
 		return nil, err
 	}
+	if ev.Methods, err = p.methodEvals(r.cfg, ev.SieveError, ev.PKSError); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
 	return ev, nil
 }
 

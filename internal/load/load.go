@@ -47,6 +47,9 @@ type Config struct {
 	Seed int64
 	// Theta is the sampling budget parameter sent on every request.
 	Theta float64
+	// Methods is the sampling-methodology pool workload-mode scenarios draw
+	// from per request (empty = server default only). See Env.Methods.
+	Methods []string
 	// Timeout bounds each request (0 = client default).
 	Timeout time.Duration
 	// Catalog is the profile set (BuildCatalog). Entry 0 is the zipfian hot
@@ -148,6 +151,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
+	env.Methods = cfg.Methods
 	// Fail fast on bad distribution parameters instead of inside a worker.
 	if _, err := cfg.Dist.Picker(rand.New(rand.NewSource(1)), len(cfg.Catalog)); err != nil {
 		return nil, err

@@ -2,6 +2,7 @@ package load
 
 import (
 	"context"
+	"math/rand"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -199,5 +200,55 @@ func TestNewRunnerRejects(t *testing.T) {
 	}
 	if _, err := NewRunner(good); err != nil {
 		t.Fatalf("good config rejected: %v", err)
+	}
+}
+
+// TestMethodPoolEndToEnd drives the sample and batch scenarios with a mixed
+// methodology pool against an in-process sieved: every drawn method must be
+// accepted (no 4xx from the method field) and the server must see traffic on
+// every pool member's counter.
+func TestMethodPoolEndToEnd(t *testing.T) {
+	cfg := baseConfig(t, startSieved(t))
+	cfg.Workloads = []string{"sample", "batch"}
+	cfg.Methods = []string{"sieve", "twophase", "rss"}
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, wr := range rep.Workloads {
+		if wr.Requests == 0 {
+			t.Errorf("workload %s made no requests", name)
+		}
+		for _, class := range []string{"4xx", "5xx", "err"} {
+			if wr.ByClass[class] != 0 {
+				t.Errorf("workload %s: %s=%d under method pool", name, class, wr.ByClass[class])
+			}
+		}
+	}
+}
+
+// TestWorkerMethodDraw pins the pool semantics: empty pool means the server
+// default (empty string), a populated pool only ever yields its members.
+func TestWorkerMethodDraw(t *testing.T) {
+	env := &Env{Methods: nil}
+	wk := &Worker{RNG: rand.New(rand.NewSource(1)), Env: env}
+	if m := wk.method(); m != "" {
+		t.Fatalf("empty pool drew %q", m)
+	}
+	env.Methods = []string{"twophase", "rss"}
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		m := wk.method()
+		if m != "twophase" && m != "rss" {
+			t.Fatalf("pool drew foreign method %q", m)
+		}
+		seen[m] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("100 draws never mixed the pool: %v", seen)
 	}
 }

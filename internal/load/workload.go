@@ -33,6 +33,12 @@ type Env struct {
 	// even on a long-lived server — each measurement run starts from
 	// scratch instead of inheriting the previous run's warm cache.
 	Salt uint64
+	// Methods is the sampling-methodology pool the workload-mode scenarios
+	// (sample, batch, planfetch refills) draw from per request. Empty keeps
+	// every request on the server default. Non-default methods hash into
+	// distinct plan ids server-side, so a mixed pool multiplies the
+	// effective catalog the cache must hold.
+	Methods []string
 
 	// planIDs holds the last plan content hash learned for each catalog
 	// entry (from any successful response), feeding the planfetch scenario.
@@ -79,6 +85,26 @@ func (e *Env) planID(i int) string {
 // options builds the request options for one catalog draw.
 func (e *Env) options() api.RequestOptions {
 	return api.RequestOptions{Theta: e.Theta, Seed: e.Salt}
+}
+
+// method draws one methodology from the env's pool with the worker's RNG
+// ("" when no pool is configured — the server default). Drawing per request
+// keeps a mixed pool mixed within each scenario, not split across them.
+func (w *Worker) method() string {
+	pool := w.Env.Methods
+	if len(pool) == 0 {
+		return ""
+	}
+	return pool[w.RNG.Intn(len(pool))]
+}
+
+// methodOptions is options() plus a per-draw methodology from the pool, for
+// the workload-mode scenarios (CSV scenarios stay on the default: pks needs
+// server-side feature profiling and would reject a CSV source).
+func (w *Worker) methodOptions() api.RequestOptions {
+	o := w.Env.options()
+	o.Method = w.method()
+	return o
 }
 
 // Worker is one load-generating goroutine's private state: its deterministic
@@ -186,7 +212,7 @@ func (sampleWorkload) Do(ctx context.Context, w *Worker) (int, error) {
 	env, err := w.client().Sample(ctx, &api.SampleRequest{
 		Workload: p.Workload,
 		Scale:    p.Scale,
-		Options:  w.Env.options(),
+		Options:  w.methodOptions(),
 	})
 	if err != nil {
 		return statusOf(err)
@@ -234,7 +260,7 @@ func (batchWorkload) Do(ctx context.Context, w *Worker) (int, error) {
 		i := w.Pick()
 		picks[j] = i
 		p := w.Env.Catalog[i]
-		items[j] = api.SampleRequest{Workload: p.Workload, Scale: p.Scale, Options: w.Env.options()}
+		items[j] = api.SampleRequest{Workload: p.Workload, Scale: p.Scale, Options: w.methodOptions()}
 	}
 	resp, err := w.client().Batch(ctx, &api.BatchRequest{Items: items})
 	if err != nil {
@@ -275,7 +301,7 @@ func (planfetchWorkload) Do(ctx context.Context, w *Worker) (int, error) {
 			// Evicted on every replica: refill by recomputing.
 			p := w.Env.Catalog[i]
 			senv, serr := w.client().Sample(ctx, &api.SampleRequest{
-				Workload: p.Workload, Scale: p.Scale, Options: w.Env.options(),
+				Workload: p.Workload, Scale: p.Scale, Options: w.methodOptions(),
 			})
 			if serr != nil {
 				return statusOf(serr)

@@ -1,0 +1,325 @@
+package sampler_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/gpusampling/sieve/internal/core"
+	"github.com/gpusampling/sieve/internal/gpu"
+	"github.com/gpusampling/sieve/internal/pks"
+	"github.com/gpusampling/sieve/internal/profiler"
+	"github.com/gpusampling/sieve/internal/sampler"
+	"github.com/gpusampling/sieve/internal/sampler/rss"
+	"github.com/gpusampling/sieve/internal/sampler/twophase"
+	"github.com/gpusampling/sieve/internal/workloads"
+)
+
+// testProfile generates a small but realistic profile — rows, PKS feature
+// vectors and golden cycles — from the workload catalog.
+func testProfile(tb testing.TB, name string, scale float64) *sampler.Profile {
+	tb.Helper()
+	spec, err := workloads.ByName(name)
+	if err != nil {
+		tb.Fatalf("ByName(%s): %v", name, err)
+	}
+	w, err := workloads.Generate(spec, scale)
+	if err != nil {
+		tb.Fatalf("Generate: %v", err)
+	}
+	hw, err := gpu.NewModel(gpu.Ampere())
+	if err != nil {
+		tb.Fatalf("NewModel: %v", err)
+	}
+	icProf, err := profiler.NewInstructionCountProfiler().Profile(w, hw)
+	if err != nil {
+		tb.Fatalf("instruction-count profile: %v", err)
+	}
+	rows := make([]core.InvocationProfile, len(icProf.Records))
+	for i, r := range icProf.Records {
+		rows[i] = core.InvocationProfile{
+			Kernel:           r.Kernel,
+			Index:            r.Index,
+			InstructionCount: r.Chars.InstructionCount,
+			CTASize:          r.CTASize,
+		}
+	}
+	fullProf, err := profiler.NewFullProfiler().Profile(w, hw)
+	if err != nil {
+		tb.Fatalf("full profile: %v", err)
+	}
+	features := make([][]float64, len(fullProf.Records))
+	for i := range fullProf.Records {
+		features[i] = fullProf.Records[i].Chars.Vector()
+	}
+	return &sampler.Profile{Rows: rows, Features: features, GoldenCycles: hw.MeasureWorkload(w)}
+}
+
+func TestRegistryHasAllFourMethods(t *testing.T) {
+	names := sampler.Names()
+	for _, want := range []string{"sieve", "pks", "twophase", "rss"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("registry %v missing %q", names, want)
+		}
+	}
+	if sampler.Canonical("") != "sieve" {
+		t.Errorf("Canonical(\"\") = %q, want sieve", sampler.Canonical(""))
+	}
+	if _, err := sampler.New(""); err != nil {
+		t.Errorf("New(\"\"): %v", err)
+	}
+	_, err := sampler.New("bogus")
+	if err == nil || !strings.Contains(err.Error(), "registered") {
+		t.Errorf("New(bogus) = %v, want unknown-method error listing registered names", err)
+	}
+}
+
+// TestSieveIdentity pins the refactor's core acceptance criterion: a plan
+// built through the registry's sieve strategy is identical — every field,
+// including the unexported prediction indexes — to one built by calling
+// core.Stratify directly, so pre-registry golden fixtures and cache keys
+// keep working without re-goldening.
+func TestSieveIdentity(t *testing.T) {
+	p := testProfile(t, "lmc", 0.02)
+	direct, err := core.Stratify(p.Rows, core.Options{})
+	if err != nil {
+		t.Fatalf("direct: %v", err)
+	}
+	viaRegistry, err := sampler.Run(context.Background(), "sieve", p, sampler.Options{})
+	if err != nil {
+		t.Fatalf("registry: %v", err)
+	}
+	if !reflect.DeepEqual(direct, viaRegistry) {
+		t.Fatalf("registry sieve plan differs from direct core.Stratify plan")
+	}
+	if viaRegistry.Method != "" {
+		t.Fatalf("sieve plan Method = %q, want empty (wire back-compat)", viaRegistry.Method)
+	}
+	if viaRegistry.Interval != nil {
+		t.Fatalf("sieve plan carries an interval; default method must not")
+	}
+}
+
+// TestPKSIdentity pins the PKS side: the registry strategy's strata are
+// exactly pks.Select's clusters (same members, same representatives, same
+// order) and the count-weighted plan predicts the same cycle total as the
+// legacy PKS estimator.
+func TestPKSIdentity(t *testing.T) {
+	p := testProfile(t, "lmc", 0.02)
+	popts := pks.Options{Seed: 7}
+	legacy, err := pks.Select(p.Features, p.GoldenCycles, popts)
+	if err != nil {
+		t.Fatalf("legacy pks: %v", err)
+	}
+	plan, err := sampler.Run(context.Background(), "pks", p, sampler.Options{PKS: popts})
+	if err != nil {
+		t.Fatalf("registry pks: %v", err)
+	}
+	if plan.Method != "pks" || !plan.CountWeighted {
+		t.Fatalf("plan method/countweighted = %q/%v, want pks/true", plan.Method, plan.CountWeighted)
+	}
+	if len(plan.Strata) != len(legacy.Clusters) {
+		t.Fatalf("%d strata vs %d clusters", len(plan.Strata), len(legacy.Clusters))
+	}
+	for ci, c := range legacy.Clusters {
+		members := make([]int, len(c.Invocations))
+		for j, pos := range c.Invocations {
+			members[j] = p.Rows[pos].Index
+		}
+		if !reflect.DeepEqual(plan.Strata[ci].Invocations, members) {
+			t.Fatalf("cluster %d members differ: %v vs %v", ci, plan.Strata[ci].Invocations, members)
+		}
+		if plan.Strata[ci].Representative != p.Rows[c.Representative].Index {
+			t.Fatalf("cluster %d representative %d vs %d", ci, plan.Strata[ci].Representative, c.Representative)
+		}
+	}
+	cycles := func(i int) (float64, error) {
+		if i < 0 || i >= len(p.GoldenCycles) {
+			return 0, fmt.Errorf("invocation %d out of range", i)
+		}
+		return p.GoldenCycles[i], nil
+	}
+	legacyCycles, err := legacy.PredictCycles(cycles)
+	if err != nil {
+		t.Fatalf("legacy predict: %v", err)
+	}
+	pred, err := plan.Predict(cycles)
+	if err != nil {
+		t.Fatalf("plan predict: %v", err)
+	}
+	if pred.Cycles != legacyCycles {
+		t.Fatalf("count-weighted prediction %g != legacy PKS prediction %g", pred.Cycles, legacyCycles)
+	}
+}
+
+// TestSeedDeterminism: the seeded strategies must produce byte-identical
+// plans for the same seed and different plans are allowed (not required)
+// otherwise — the fixture is chosen so the seeds actually diverge.
+func TestSeedDeterminism(t *testing.T) {
+	p := testProfile(t, "lmc", 0.02)
+	for _, method := range []string{twophase.Method, rss.Method} {
+		t.Run(method, func(t *testing.T) {
+			a, err := sampler.Run(context.Background(), method, p, sampler.Options{Seed: 42})
+			if err != nil {
+				t.Fatalf("first run: %v", err)
+			}
+			b, err := sampler.Run(context.Background(), method, p, sampler.Options{Seed: 42})
+			if err != nil {
+				t.Fatalf("second run: %v", err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("same seed produced different %s plans", method)
+			}
+			if a.Method != method {
+				t.Fatalf("plan method %q, want %q", a.Method, method)
+			}
+			if a.Interval == nil {
+				t.Fatalf("%s plan carries no error interval", method)
+			}
+			for _, v := range []float64{a.Interval.Mean, a.Interval.StdErr, a.Interval.Low, a.Interval.High} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s interval not finite: %+v", method, a.Interval)
+				}
+			}
+			if got, err := sampler.Run(context.Background(), method, p, sampler.Options{Seed: 43}); err != nil {
+				t.Fatalf("seed 43: %v", err)
+			} else if got == nil {
+				t.Fatalf("seed 43 returned nil plan")
+			}
+		})
+	}
+}
+
+// TestTwophaseRefinesBasePlan: the Neyman second phase must spend its extra
+// budget — the plan has strictly more strata than the base sieve plan on a
+// fixture with Tier-3 dispersion — while still partitioning every
+// invocation.
+func TestTwophaseRefinesBasePlan(t *testing.T) {
+	p := testProfile(t, "lmc", 0.02)
+	base, err := core.Stratify(p.Rows, core.Options{})
+	if err != nil {
+		t.Fatalf("base: %v", err)
+	}
+	plan, err := sampler.Run(context.Background(), twophase.Method, p, sampler.Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("twophase: %v", err)
+	}
+	if plan.NumStrata() <= base.NumStrata() {
+		t.Fatalf("twophase strata %d not finer than base %d", plan.NumStrata(), base.NumStrata())
+	}
+	if plan.NumInvocations() != len(p.Rows) {
+		t.Fatalf("twophase covers %d of %d invocations", plan.NumInvocations(), len(p.Rows))
+	}
+	// Summation order differs between Assemble and Stratify, so allow
+	// floating-point ULP noise but nothing more.
+	if rel := math.Abs(plan.TotalInstructions-base.TotalInstructions) / base.TotalInstructions; rel > 1e-12 {
+		t.Fatalf("total instructions drifted: %g vs %g (rel %g)", plan.TotalInstructions, base.TotalInstructions, rel)
+	}
+}
+
+// TestRSSIntervalNarrowsWithResamples pins the repeated-subsampling
+// contract: more resamples shrink the interval monotonically (width is
+// 4·s/√R) on a synthetic workload under fixed seeds.
+func TestRSSIntervalNarrowsWithResamples(t *testing.T) {
+	p := testProfile(t, "lmc", 0.02)
+	prev := math.Inf(1)
+	for _, r := range []int{8, 32, 128, 512} {
+		plan, err := sampler.Run(context.Background(), rss.Method, p, sampler.Options{Seed: 5, Resamples: r})
+		if err != nil {
+			t.Fatalf("R=%d: %v", r, err)
+		}
+		if plan.Interval == nil || plan.Interval.Resamples != r {
+			t.Fatalf("R=%d: interval %+v", r, plan.Interval)
+		}
+		width := plan.Interval.High - plan.Interval.Low
+		if width <= 0 || math.IsNaN(width) {
+			t.Fatalf("R=%d: degenerate width %g", r, width)
+		}
+		if width >= prev {
+			t.Fatalf("R=%d: width %g did not narrow (previous %g)", r, width, prev)
+		}
+		prev = width
+	}
+}
+
+// TestErrorEstimatorInterface: the two uncertainty-quantifying strategies
+// implement the optional interface, and the estimate matches the interval
+// the plan carries.
+func TestErrorEstimatorInterface(t *testing.T) {
+	p := testProfile(t, "lmc", 0.02)
+	for _, method := range []string{twophase.Method, rss.Method} {
+		s, err := sampler.New(method)
+		if err != nil {
+			t.Fatalf("New(%s): %v", method, err)
+		}
+		est, ok := s.(sampler.ErrorEstimator)
+		if !ok {
+			t.Fatalf("%s does not implement ErrorEstimator", method)
+		}
+		iv, err := est.EstimateInterval(context.Background(), p, sampler.Options{Seed: 9})
+		if err != nil {
+			t.Fatalf("%s estimate: %v", method, err)
+		}
+		plan, err := s.Plan(context.Background(), p, sampler.Options{Seed: 9})
+		if err != nil {
+			t.Fatalf("%s plan: %v", method, err)
+		}
+		if !reflect.DeepEqual(iv, plan.Interval) {
+			t.Fatalf("%s estimate %+v != plan interval %+v", method, iv, plan.Interval)
+		}
+	}
+}
+
+// TestPKSNeedsFeatures: the pks strategy fails loudly without its feature
+// and golden side channels instead of planning from the wrong inputs.
+func TestPKSNeedsFeatures(t *testing.T) {
+	p := testProfile(t, "lmc", 0.02)
+	_, err := sampler.Run(context.Background(), "pks", &sampler.Profile{Rows: p.Rows}, sampler.Options{})
+	if err == nil || !strings.Contains(err.Error(), "feature") {
+		t.Fatalf("pks without features = %v, want feature-vector error", err)
+	}
+	_, err = sampler.Run(context.Background(), "pks", &sampler.Profile{Rows: p.Rows, Features: p.Features}, sampler.Options{})
+	if err == nil || !strings.Contains(err.Error(), "golden") {
+		t.Fatalf("pks without golden = %v, want golden-cycles error", err)
+	}
+}
+
+// TestCoreRejectsForeignMethod: a non-default Options.Method reaching
+// core.Stratify is a dispatch bug and must fail loudly.
+func TestCoreRejectsForeignMethod(t *testing.T) {
+	p := testProfile(t, "lmc", 0.02)
+	_, err := core.Stratify(p.Rows, core.Options{Method: "twophase"})
+	if err == nil || !strings.Contains(err.Error(), "method") {
+		t.Fatalf("core.Stratify(Method: twophase) = %v, want method error", err)
+	}
+	if _, err := core.Stratify(p.Rows, core.Options{Method: "sieve"}); err != nil {
+		t.Fatalf("core.Stratify(Method: sieve): %v", err)
+	}
+}
+
+// BenchmarkSamplerPlan compares plan-construction cost across the four
+// registered methodologies on the same profile (make bench-sampler →
+// BENCH_sampler.json).
+func BenchmarkSamplerPlan(b *testing.B) {
+	p := testProfile(b, "lmc", 0.1)
+	for _, method := range sampler.Names() {
+		b.Run(method, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sampler.Run(context.Background(), method, p, sampler.Options{Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

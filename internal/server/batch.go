@@ -89,6 +89,7 @@ func (s *Server) batchItem(ctx context.Context, req *SampleRequest) BatchItemRes
 		s.metrics.Failures.Add(1)
 		return BatchItemResult{Status: statusFor(err), Error: err.Error()}
 	}
+	s.metrics.MethodRequests(rv.method).Add(1)
 	id := rv.key("sample")
 	if doc, ok := s.cache.get(id); ok {
 		s.metrics.CacheHits.Add(1)

@@ -4,6 +4,8 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -39,8 +41,49 @@ type metrics struct {
 	Rejected     expvar.Int // requests that gave up waiting for a slot
 	RowsIngested expvar.Int // profile rows ingested across all requests
 
+	// methodCounts counts sample requests per resolved sampling methodology
+	// (sieve, pks, twophase, rss, …), keyed by canonical method name. The map
+	// grows lazily as methods are first requested, so a server that only ever
+	// serves default-method traffic exposes only the "sieve" series.
+	methodMu     sync.Mutex
+	methodCounts map[string]*expvar.Int
+
 	regOnce sync.Once
 	reg     *obs.Registry
+}
+
+// MethodRequests returns the per-methodology sample-request counter for the
+// canonical method name, creating it on first use.
+func (m *metrics) MethodRequests(method string) *expvar.Int {
+	m.methodMu.Lock()
+	defer m.methodMu.Unlock()
+	if m.methodCounts == nil {
+		m.methodCounts = make(map[string]*expvar.Int)
+	}
+	c, ok := m.methodCounts[method]
+	if !ok {
+		c = new(expvar.Int)
+		m.methodCounts[method] = c
+	}
+	return c
+}
+
+// methodSnapshot returns the per-method counters sorted by method name, so
+// both expositions render deterministically.
+func (m *metrics) methodSnapshot() []methodCount {
+	m.methodMu.Lock()
+	defer m.methodMu.Unlock()
+	out := make([]methodCount, 0, len(m.methodCounts))
+	for name, c := range m.methodCounts {
+		out = append(out, methodCount{name, c.Value()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].method < out[j].method })
+	return out
+}
+
+type methodCount struct {
+	method string
+	count  int64
 }
 
 // registry lazily creates the metric registry so the zero-value metrics
@@ -98,14 +141,21 @@ func (m *metrics) quantiles() (p50, p99 float64) {
 func (m *metrics) handler(cacheLen func() int) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		p50, p99 := m.quantiles()
+		var methods strings.Builder
+		for i, mc := range m.methodSnapshot() {
+			if i > 0 {
+				methods.WriteByte(',')
+			}
+			fmt.Fprintf(&methods, "%q:%d", mc.method, mc.count)
+		}
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, `{"requests":%s,"failures":%s,"cache_hits":%s,"cache_misses":%s,"cache_entries":%d,"computations":%s,"coalesced":%s,"batch_items":%s,"peer_fills":%s,"peer_proxied":%s,"in_flight":%s,"rejected":%s,"rows_ingested":%s,"latency_ms":{"p50":%g,"p99":%g}}`+"\n",
+		fmt.Fprintf(w, `{"requests":%s,"failures":%s,"cache_hits":%s,"cache_misses":%s,"cache_entries":%d,"computations":%s,"coalesced":%s,"batch_items":%s,"peer_fills":%s,"peer_proxied":%s,"in_flight":%s,"rejected":%s,"rows_ingested":%s,"method_requests":{%s},"latency_ms":{"p50":%g,"p99":%g}}`+"\n",
 			m.Requests.String(), m.Failures.String(),
 			m.CacheHits.String(), m.CacheMisses.String(), cacheLen(),
 			m.Computations.String(), m.Coalesced.String(), m.BatchItems.String(),
 			m.PeerFills.String(), m.PeerProxied.String(),
 			m.InFlight.String(), m.Rejected.String(), m.RowsIngested.String(),
-			p50, p99)
+			methods.String(), p50, p99)
 	}
 }
 
@@ -133,6 +183,12 @@ func (m *metrics) prometheus(cacheLen func() int) http.HandlerFunc {
 		counter("sieved_peer_proxied_total", m.PeerProxied.Value())
 		counter("sieved_rejected_total", m.Rejected.Value())
 		counter("sieved_rows_ingested_total", m.RowsIngested.Value())
+		if snap := m.methodSnapshot(); len(snap) > 0 {
+			fmt.Fprintf(w, "# TYPE sieved_method_requests_total counter\n")
+			for _, mc := range snap {
+				fmt.Fprintf(w, "sieved_method_requests_total{method=%q} %d\n", mc.method, mc.count)
+			}
+		}
 		gauge("sieved_in_flight", m.InFlight.Value())
 		gauge("sieved_cache_entries", int64(cacheLen()))
 		_ = m.registry().WritePrometheus(w)

@@ -51,6 +51,8 @@ import (
 	"github.com/gpusampling/sieve"
 	"github.com/gpusampling/sieve/api"
 	"github.com/gpusampling/sieve/internal/core"
+	"github.com/gpusampling/sieve/internal/pks"
+	"github.com/gpusampling/sieve/internal/sampler"
 )
 
 // Config bounds the service. The zero value serves with sane defaults.
@@ -311,7 +313,7 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request) (*SampleR
 }
 
 // optionsFromQuery parses ?theta=&selection=&splitter=&parallelism=&stream=
-// &reservoir_size=&seed=&arch= for the raw-CSV request shape.
+// &reservoir_size=&seed=&arch=&method= for the raw-CSV request shape.
 func optionsFromQuery(q url.Values, o *RequestOptions) error {
 	var err error
 	get := func(key string, parse func(string) error) {
@@ -332,6 +334,7 @@ func optionsFromQuery(q url.Values, o *RequestOptions) error {
 	o.Selection = q.Get("selection")
 	o.Splitter = q.Get("splitter")
 	o.Arch = q.Get("arch")
+	o.Method = q.Get("method")
 	return err
 }
 
@@ -342,6 +345,9 @@ type resolved struct {
 	opts   sieve.Options
 	stream sieve.StreamOptions
 	arch   string
+	// method is the canonicalized sampling methodology ("sieve" for the
+	// default / empty wire value).
+	method string
 }
 
 // resolve validates the request and turns the wire options into sieve
@@ -391,6 +397,16 @@ func (s *Server) resolve(req *SampleRequest) (*resolved, error) {
 	if req.Options.ReservoirSize < 0 {
 		return nil, badRequest{fmt.Errorf("negative reservoir_size %d", req.Options.ReservoirSize)}
 	}
+	method := sampler.Canonical(req.Options.Method)
+	if _, err := sampler.New(method); err != nil {
+		return nil, badRequest{err}
+	}
+	if method != core.MethodSieve && req.Options.Stream {
+		return nil, badRequest{fmt.Errorf("method %q does not support stream mode (only the default sieve sampler streams)", method)}
+	}
+	if method == sampler.MethodPKS && req.ProfileCSV != "" {
+		return nil, badRequest{errors.New(`method "pks" requires workload mode: its 12-characteristic feature vectors and golden cycle reference are profiled server-side`)}
+	}
 	arch := req.Options.Arch
 	if arch == "" {
 		arch = "ampere"
@@ -414,7 +430,8 @@ func (s *Server) resolve(req *SampleRequest) (*resolved, error) {
 			ReservoirSize: req.Options.ReservoirSize,
 			Seed:          req.Options.Seed,
 		},
-		arch: arch,
+		arch:   arch,
+		method: method,
 	}, nil
 }
 
@@ -430,6 +447,13 @@ func (rv *resolved) key(kind string) string {
 	fmt.Fprintf(h, "%s|theta=%g|sel=%d|split=%d|stream=%v|res=%d|seed=%d|arch=%s|",
 		kind, rv.opts.Theta, rv.opts.Selection, rv.opts.Tier3Splitter,
 		rv.req.Options.Stream, rv.stream.ReservoirSize, rv.stream.Seed, rv.arch)
+	// Non-default methodologies are canonicalized into the hash so the same
+	// source sampled under two methods addresses two distinct plans. The
+	// default contributes nothing, keeping every pre-existing plan id (and
+	// the golden wire fixtures pinning them) byte-stable.
+	if rv.method != core.MethodSieve {
+		fmt.Fprintf(h, "method=%s|", rv.method)
+	}
 	if rv.req.ProfileCSV != "" {
 		io.WriteString(h, "csv|")
 		io.WriteString(h, rv.req.ProfileCSV)
@@ -492,8 +516,79 @@ func (rv *resolved) workloadRows(ctx context.Context) ([]sieve.InvocationProfile
 	return sieve.ProfileRows(p), nil
 }
 
+// methodProfile materializes the sampler inputs for a non-default
+// methodology. Most methods need only the instruction-count rows; pks
+// additionally needs the Nsight-style 12-characteristic feature vectors and
+// the golden per-invocation cycle reference, both profiled server-side from
+// the generated workload (resolve already rejected pks with CSV sources).
+func (rv *resolved) methodProfile(ctx context.Context) (*sieve.MethodProfile, error) {
+	if rv.method != sampler.MethodPKS {
+		rows, err := rv.rows(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &sieve.MethodProfile{Rows: rows}, nil
+	}
+	w, err := sieve.GenerateWorkload(rv.req.Workload, rv.req.Scale)
+	if err != nil {
+		return nil, badRequest{err}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	archCfg, err := sieve.ResolveArch(rv.arch)
+	if err != nil {
+		return nil, badRequest{err}
+	}
+	hw, err := sieve.NewHardware(archCfg)
+	if err != nil {
+		return nil, err
+	}
+	counts, err := sieve.ProfileInstructionCounts(w, hw)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	full, err := sieve.ProfileFull(w, hw)
+	if err != nil {
+		return nil, err
+	}
+	return &sieve.MethodProfile{
+		Rows:         sieve.ProfileRows(counts),
+		Features:     sieve.FeatureRows(full),
+		GoldenCycles: hw.MeasureWorkload(w),
+	}, nil
+}
+
+// methodPlan runs a non-default methodology through the sampler registry.
+// The request seed doubles as the methodology seed, so clients reproduce
+// stochastic plans (twophase pilots, rss draws) the same way they salt the
+// cache: via options.seed.
+func (rv *resolved) methodPlan(ctx context.Context) (*sieve.Plan, error) {
+	p, err := rv.methodProfile(ctx)
+	if err != nil {
+		return nil, err
+	}
+	sopts := sieve.MethodOptions{Core: rv.opts, Seed: int64(rv.stream.Seed)}
+	if rv.method == sampler.MethodPKS {
+		sopts.PKS = pks.Options{Seed: int64(rv.stream.Seed), Parallelism: rv.opts.Parallelism}
+	}
+	plan, err := sieve.SampleMethodContext(ctx, rv.method, p, sopts)
+	if err != nil && rv.req.ProfileCSV != "" && statusFor(err) == http.StatusInternalServerError {
+		// Row-validation failures on caller-supplied CSV are caller data
+		// errors, exactly as on the default path below.
+		err = badRequest{err}
+	}
+	return plan, err
+}
+
 // samplePlan runs the sampling pipeline for the resolved request.
 func (rv *resolved) samplePlan(ctx context.Context) (*sieve.Plan, error) {
+	if rv.method != core.MethodSieve {
+		return rv.methodPlan(ctx)
+	}
 	if rv.req.Options.Stream && rv.req.ProfileCSV != "" {
 		plan, err := sieve.SampleCSVContext(ctx, strings.NewReader(rv.req.ProfileCSV), rv.stream)
 		if err != nil && statusFor(err) == http.StatusInternalServerError {
@@ -537,6 +632,18 @@ func marshalPlan(p *sieve.Plan) ([]byte, error) {
 			Representative: s.Representative,
 			Weight:         s.Weight,
 			InstructionSum: s.InstructionSum,
+		}
+	}
+	// Both fields are empty on default-method plans and omitted from the
+	// JSON, so pre-subsystem plan documents keep their exact bytes.
+	out.Method = p.Method
+	if iv := p.Interval; iv != nil {
+		out.ErrorInterval = &api.ErrorInterval{
+			Mean:      iv.Mean,
+			StdErr:    iv.StdErr,
+			Low:       iv.Low,
+			High:      iv.High,
+			Resamples: iv.Resamples,
 		}
 	}
 	return json.Marshal(out)
@@ -617,6 +724,7 @@ func (s *Server) serveSample(w http.ResponseWriter, r *http.Request) int {
 	if err != nil {
 		return s.writeError(w, err)
 	}
+	s.metrics.MethodRequests(rv.method).Add(1)
 	id := rv.key("sample")
 	if doc, ok := s.cache.get(id); ok {
 		s.metrics.CacheHits.Add(1)

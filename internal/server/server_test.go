@@ -504,7 +504,7 @@ func TestDebugMetricsJSONShape(t *testing.T) {
 	want := []string{
 		"requests", "failures", "cache_hits", "cache_misses", "cache_entries",
 		"computations", "coalesced", "batch_items", "peer_fills", "peer_proxied",
-		"in_flight", "rejected", "rows_ingested", "latency_ms",
+		"in_flight", "rejected", "rows_ingested", "method_requests", "latency_ms",
 	}
 	for _, k := range want {
 		if _, ok := doc[k]; !ok {
@@ -513,6 +513,13 @@ func TestDebugMetricsJSONShape(t *testing.T) {
 	}
 	if len(doc) != len(want) {
 		t.Errorf("/debug/metrics has %d keys, want %d: %v", len(doc), len(want), doc)
+	}
+	var methods map[string]int64
+	if err := json.Unmarshal(doc["method_requests"], &methods); err != nil {
+		t.Fatal(err)
+	}
+	if methods["sieve"] != 1 {
+		t.Errorf(`method_requests["sieve"] = %d, want 1`, methods["sieve"])
 	}
 	var lat struct {
 		P50 *float64 `json:"p50"`

@@ -30,6 +30,12 @@ import (
 
 	"github.com/gpusampling/sieve/internal/core"
 	"github.com/gpusampling/sieve/internal/profiler"
+	"github.com/gpusampling/sieve/internal/sampler"
+
+	// Register the alternate sampling methodologies so Options.Method,
+	// SampleMethod and the sieved service can select them by name.
+	_ "github.com/gpusampling/sieve/internal/sampler/rss"
+	_ "github.com/gpusampling/sieve/internal/sampler/twophase"
 )
 
 // Sentinel errors shared by the sampling entry points. They arrive wrapped
@@ -113,7 +119,7 @@ type CycleSource = core.CycleSource
 // invocations (Sections III-B and III-C of the paper). It is SampleContext
 // with context.Background().
 func Sample(profile []InvocationProfile, opts Options) (*Plan, error) {
-	return core.Stratify(profile, opts)
+	return SampleContext(context.Background(), profile, opts)
 }
 
 // SampleContext is Sample with cancellation: the per-kernel stratification
@@ -121,8 +127,53 @@ func Sample(profile []InvocationProfile, opts Options) (*Plan, error) {
 // gets ctx.Err() back promptly and releases its worker slots instead of
 // pinning them for the rest of the run. This is the entry point long-lived
 // hosts (such as cmd/sieved) should call with a per-request context.
+//
+// Options.Method dispatches to the named methodology from the sampler
+// registry ("sieve"/"" keeps the default path, byte-identical to before the
+// registry existed). Method-specific knobs (seeds, pilot fractions,
+// resample counts) keep their defaults on this path — use SampleMethod to
+// set them, and for methods that need more than instruction-count rows
+// (pks needs feature vectors and a golden reference) supply the full
+// MethodProfile there.
 func SampleContext(ctx context.Context, profile []InvocationProfile, opts Options) (*Plan, error) {
+	if m := sampler.Canonical(opts.Method); m != core.MethodSieve {
+		return sampler.Run(ctx, m, &MethodProfile{Rows: profile}, MethodOptions{Core: opts})
+	}
 	return core.StratifyContext(ctx, profile, opts)
+}
+
+// Methods lists every registered sampling methodology by name, sorted —
+// "sieve" and "pks" plus the strategy packages linked into the binary
+// (twophase, rss, and any future registrations).
+func Methods() []string { return sampler.Names() }
+
+// MethodProfile is the input a sampling methodology plans from: the
+// instruction-count rows every method needs, plus the optional feature
+// vectors and golden cycle counts that feature-clustering methods (pks)
+// require.
+type MethodProfile = sampler.Profile
+
+// MethodOptions carries the methodology knobs: the shared core options plus
+// per-strategy parameters (Seed, PilotFraction, Budget, SetSize, Resamples,
+// PKS).
+type MethodOptions = sampler.Options
+
+// ErrorInterval is a methodology-supplied confidence interval on a plan's
+// relative estimation error, attached to plans built by strategies that
+// quantify their own uncertainty (rss resampling, twophase pilot variance).
+type ErrorInterval = core.ErrorInterval
+
+// SampleMethod builds a sampling plan with the named registered methodology
+// ("" selects the default "sieve"). It is SampleMethodContext with
+// context.Background().
+func SampleMethod(method string, p *MethodProfile, opts MethodOptions) (*Plan, error) {
+	return sampler.Run(context.Background(), method, p, opts)
+}
+
+// SampleMethodContext is SampleMethod with cancellation, observed between
+// strata and resamples.
+func SampleMethodContext(ctx context.Context, method string, p *MethodProfile, opts MethodOptions) (*Plan, error) {
+	return sampler.Run(ctx, method, p, opts)
 }
 
 // TierFractions reports, for each θ, the fraction of invocations classified
