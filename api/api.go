@@ -19,7 +19,15 @@ import (
 
 // Version identifies the sieved API generation, reported by GET /healthz.
 // It versions the wire protocol, not the build.
-const Version = "v1.9"
+const Version = "v1.10"
+
+// TraceHeader is the distributed-tracing header: a traceparent-style value
+// whose first dash-separated token is the 32-hex-digit trace id. Clients may
+// mint it (client.WithTraceID); the server mints one when absent, echoes the
+// id back on the response under the same header, and propagates the incoming
+// value verbatim on peer proxy and fetch-and-fill hops, so one id names the
+// request across every replica it touches.
+const TraceHeader = "X-Sieved-Trace"
 
 // RequestOptions is the wire form of the sampling knobs. Zero values select
 // the paper defaults, mirroring sieve.Options.
@@ -231,6 +239,56 @@ type DebugMetrics struct {
 	// map grows as methods are first requested.
 	MethodRequests map[string]int64 `json:"method_requests"`
 	LatencyMS      LatencyMS        `json:"latency_ms"`
+}
+
+// TraceSpan is one node of a trace's span tree: the wire form of an obs
+// span, with start offsets in nanoseconds relative to the request's start.
+type TraceSpan struct {
+	Name       string           `json:"name"`
+	StartNS    int64            `json:"start_ns"`
+	DurationNS int64            `json:"duration_ns"`
+	Attrs      map[string]any   `json:"attrs,omitempty"`
+	Counters   map[string]int64 `json:"counters,omitempty"`
+	Children   []*TraceSpan     `json:"children,omitempty"`
+}
+
+// TraceSummary is one row of the GET /debug/traces listing.
+type TraceSummary struct {
+	// TraceID is the 32-hex-digit id from TraceHeader.
+	TraceID string `json:"trace_id"`
+	Method  string `json:"method"`
+	Path    string `json:"path"`
+	Status  int    `json:"status"`
+	// StartUnixNS is the request's wall-clock start (Unix nanoseconds).
+	StartUnixNS int64 `json:"start_unix_ns"`
+	DurationNS  int64 `json:"duration_ns"`
+}
+
+// Trace is the JSON body of GET /debug/traces/{id}: one completed request's
+// identity, per-stage attribution and full span tree on the replica that
+// answered. With ?format=chrome the endpoint renders the same tree as Chrome
+// trace-event JSON instead.
+type Trace struct {
+	TraceSummary
+	// Replica is the answering replica's advertised base URL ("" single-node).
+	Replica string `json:"replica,omitempty"`
+	// StageNS sums span durations per serving stage (decode, cache, slot,
+	// flight, compute, proxy, write), in nanoseconds. Stages the request never
+	// entered are absent.
+	StageNS map[string]int64 `json:"stage_ns,omitempty"`
+	// Spans is the request's span forest.
+	Spans []*TraceSpan `json:"spans"`
+}
+
+// TraceList is the JSON body of GET /debug/traces: the most recent completed
+// traces plus the slowest ones still resident in the bounded ring store.
+type TraceList struct {
+	// Stored is the number of traces currently resident; Capacity is the ring
+	// size (old traces are overwritten once Stored reaches it).
+	Stored   int            `json:"stored"`
+	Capacity int            `json:"capacity"`
+	Recent   []TraceSummary `json:"recent"`
+	Slowest  []TraceSummary `json:"slowest"`
 }
 
 // Error is the JSON body of every failed request: {"error": "..."}. It

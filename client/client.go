@@ -165,6 +165,9 @@ func (c *Client) once(ctx context.Context, method, path, contentType string, bod
 			req.Header.Set(k, v)
 		}
 	}
+	if tv := traceHeaderValue(ctx); tv != "" {
+		req.Header.Set(api.TraceHeader, tv)
+	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}

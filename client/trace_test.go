@@ -1,0 +1,136 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/gpusampling/sieve/api"
+)
+
+// TestTraceIDContextRoundTrip: WithTraceID/TraceID carry the id, and a bare
+// context carries none.
+func TestTraceIDContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if got := TraceID(ctx); got != "" {
+		t.Fatalf("bare context TraceID = %q", got)
+	}
+	id := NewTraceID()
+	if !ValidTraceID(id) {
+		t.Fatalf("NewTraceID minted invalid id %q", id)
+	}
+	if len(id) != 32 {
+		t.Fatalf("NewTraceID length = %d, want 32", len(id))
+	}
+	if got := TraceID(WithTraceID(ctx, id)); got != id {
+		t.Fatalf("TraceID round trip = %q, want %q", got, id)
+	}
+}
+
+// TestValidTraceID pins the accepted id grammar: 16–64 lowercase hex digits.
+func TestValidTraceID(t *testing.T) {
+	for id, want := range map[string]bool{
+		"0123456789abcdef":                 true,
+		"0123456789abcdef0123456789abcdef": true,
+		"0123456789ABCDEF":                 false, // uppercase
+		"0123456789abcde":                  false, // too short
+		"xyz":                              false,
+		"":                                 false,
+		"0123456789abcdeg":                 false, // non-hex
+	} {
+		if got := ValidTraceID(id); got != want {
+			t.Errorf("ValidTraceID(%q) = %v, want %v", id, got, want)
+		}
+	}
+	if ValidTraceID(string(make([]byte, 65))) {
+		t.Error("65-byte id accepted")
+	}
+}
+
+// TestParseTraceHeader: the id is the first dash token, lowercased; invalid
+// ids parse to "".
+func TestParseTraceHeader(t *testing.T) {
+	for in, want := range map[string]string{
+		"0123456789abcdef0123456789abcdef-01":    "0123456789abcdef0123456789abcdef",
+		"0123456789abcdef0123456789abcdef":       "0123456789abcdef0123456789abcdef",
+		"  0123456789ABCDEF0123456789ABCDEF-01 ": "0123456789abcdef0123456789abcdef",
+		"nope-01":                                "",
+		"":                                       "",
+	} {
+		if got := ParseTraceHeader(in); got != want {
+			t.Errorf("ParseTraceHeader(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestTraceHeaderInjection: a context-carried trace id rides every request as
+// api.TraceHeader; an invalid id is dropped rather than sent.
+func TestTraceHeaderInjection(t *testing.T) {
+	var gotHeader string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotHeader = r.Header.Get(api.TraceHeader)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok","version":"` + api.Version + `"}`))
+	}))
+	t.Cleanup(ts.Close)
+	c := fastClient(t, ts.URL)
+
+	id := "00000000000000000000000000abcdef"
+	if _, err := c.Healthz(WithTraceID(context.Background(), id)); err != nil {
+		t.Fatal(err)
+	}
+	if want := id + "-01"; gotHeader != want {
+		t.Fatalf("trace header = %q, want %q", gotHeader, want)
+	}
+
+	if _, err := c.Healthz(WithTraceID(context.Background(), "NOT-HEX")); err != nil {
+		t.Fatal(err)
+	}
+	if gotHeader != "" {
+		t.Fatalf("invalid id still sent: %q", gotHeader)
+	}
+}
+
+// TestGetTraceAndTraces: the trace read methods decode the wire documents and
+// surface 404 as *api.Error.
+func TestGetTraceAndTraces(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		switch r.URL.Path {
+		case "/debug/traces":
+			w.Write([]byte(`{"stored":1,"capacity":256,"recent":[{"trace_id":"00000000000000000000000000abcdef","method":"POST","path":"/v1/sample","status":200,"start_unix_ns":1,"duration_ns":42}],"slowest":[]}`))
+		case "/debug/traces/00000000000000000000000000abcdef":
+			w.Write([]byte(`{"trace_id":"00000000000000000000000000abcdef","method":"POST","path":"/v1/sample","status":200,"start_unix_ns":1,"duration_ns":42,"stage_ns":{"compute":40},"spans":[{"name":"request","start_ns":0,"duration_ns":42}]}`))
+		default:
+			w.WriteHeader(http.StatusNotFound)
+			w.Write([]byte(`{"error":"no such trace"}`))
+		}
+	}))
+	t.Cleanup(ts.Close)
+	c := fastClient(t, ts.URL)
+	ctx := context.Background()
+
+	l, err := c.Traces(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Capacity != 256 || len(l.Recent) != 1 || l.Recent[0].DurationNS != 42 {
+		t.Fatalf("trace list = %+v", l)
+	}
+
+	tr, err := c.GetTrace(ctx, l.Recent[0].TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.StageNS["compute"] != 40 || len(tr.Spans) != 1 || tr.Spans[0].Name != "request" {
+		t.Fatalf("trace = %+v", tr)
+	}
+
+	_, err = c.GetTrace(ctx, "00000000000000000000000000000000")
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("missing trace error = %v", err)
+	}
+}

@@ -52,6 +52,11 @@ type Config struct {
 	Methods []string
 	// Timeout bounds each request (0 = client default).
 	Timeout time.Duration
+	// TraceEvery makes every Nth request per worker carry a deterministic
+	// minted trace id (drawn from the worker's RNG). Sampled traces are
+	// fetched back from the targets after the run and summarized as the
+	// report's per-stage latency attribution. 0 disables trace sampling.
+	TraceEvery int
 	// Catalog is the profile set (BuildCatalog). Entry 0 is the zipfian hot
 	// spot.
 	Catalog []Profile
@@ -104,6 +109,13 @@ type Runner struct {
 	env *Env
 
 	scenarios []*scenario
+
+	// traceIDs holds the newest sampled trace ids (a rolling window bounded
+	// by traceSampleCap), fetched back for the attribution summary after the
+	// run. traceSeq counts every sampled request, indexing the window.
+	traceMu  sync.Mutex
+	traceIDs []string
+	traceSeq int
 }
 
 // NewRunner validates the config, connects the target clients, and
@@ -226,7 +238,9 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("load: post-run metrics scrape: %w", err)
 	}
-	return r.buildReport(before, after, elapsed), nil
+	rep := r.buildReport(before, after, elapsed)
+	rep.TraceAttribution = r.fetchAttribution(ctx)
+	return rep, nil
 }
 
 // runClosed maintains per-scenario worker pools sized by the ramp schedule:
@@ -304,7 +318,7 @@ func (r *Runner) workerLoop(ctx context.Context, stop <-chan struct{}, sc *scena
 		default:
 		}
 		t0 := time.Now()
-		status, err := sc.w.Do(ctx, wk)
+		status, err := sc.w.Do(r.traceCtx(ctx, wk), wk)
 		if ctx.Err() != nil {
 			return
 		}
@@ -419,7 +433,7 @@ func (r *Runner) dispatch(ctx context.Context, i int, sem chan struct{}, reqWG *
 				defer func() { <-sem }()
 			}
 			t0 := time.Now()
-			status, err := sc.w.Do(ctx, wk)
+			status, err := sc.w.Do(r.traceCtx(ctx, wk), wk)
 			if ctx.Err() == nil {
 				r.observe(sc, status, err, time.Since(t0))
 			}

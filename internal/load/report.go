@@ -72,6 +72,35 @@ type ServerSummary struct {
 	HotRate float64 `json:"hot_rate"`
 }
 
+// StageStat summarizes one serving stage across the run's sampled traces:
+// how many traces attributed time to the stage, the stage-duration quantiles,
+// and the stage's share of the sampled requests' total wall time.
+type StageStat struct {
+	Samples int     `json:"samples"`
+	P50MS   float64 `json:"p50_ms"`
+	P99MS   float64 `json:"p99_ms"`
+	Share   float64 `json:"share"`
+}
+
+// TraceAttribution is the per-stage latency-attribution summary built from
+// the run's sampled distributed traces (Config.TraceEvery). Shares are
+// exclusive per stage — the server's stage taxonomy partitions each traced
+// request's wall time — so they sum to at most 1 (the remainder is
+// unattributed handler overhead).
+type TraceAttribution struct {
+	// Sampled is how many requests carried a minted trace id.
+	Sampled int `json:"sampled"`
+	// Fetched is how many of those traces were still resident on a target
+	// after the run.
+	Fetched int `json:"fetched"`
+	// FetchErrors counts sampled ids no target still held (overwritten in
+	// the bounded trace store, or the request never completed).
+	FetchErrors int `json:"fetch_errors"`
+	// Stages maps stage name (decode, cache, slot, flight, compute, proxy,
+	// write) to its attribution.
+	Stages map[string]StageStat `json:"stages"`
+}
+
 // Report is the run's machine-readable result (the BENCH_load.json body).
 type Report struct {
 	Schema          string                     `json:"schema"`
@@ -90,6 +119,9 @@ type Report struct {
 	AchievedQPS     float64                    `json:"achieved_qps"`
 	LatencyMS       Percentiles                `json:"latency_ms"`
 	Server          ServerSummary              `json:"server"`
+	// TraceAttribution is present when the run sampled traces
+	// (Config.TraceEvery > 0 and at least one request fired).
+	TraceAttribution *TraceAttribution `json:"trace_attribution,omitempty"`
 }
 
 // scrape snapshots every target's /debug/metrics.

@@ -1,0 +1,116 @@
+package load
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestTraceAttributionEndToEnd drives a traced run against an in-process
+// sieved and checks the report carries a usable per-stage attribution:
+// traces were sampled and fetched back, the stage set matches the server's
+// taxonomy, and exclusive-stage shares stay within one request's wall time.
+func TestTraceAttributionEndToEnd(t *testing.T) {
+	cfg := baseConfig(t, startSieved(t))
+	cfg.TraceEvery = 2
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	att := rep.TraceAttribution
+	if att == nil {
+		t.Fatal("traced run produced no trace_attribution")
+	}
+	if att.Sampled == 0 || att.Fetched == 0 {
+		t.Fatalf("sampled=%d fetched=%d, want both > 0", att.Sampled, att.Fetched)
+	}
+	if att.Fetched+att.FetchErrors != att.Sampled {
+		t.Fatalf("fetched %d + errors %d != sampled %d", att.Fetched, att.FetchErrors, att.Sampled)
+	}
+	known := map[string]bool{
+		"decode": true, "cache": true, "slot": true, "flight": true,
+		"compute": true, "proxy": true, "write": true,
+	}
+	var shareSum float64
+	for name, st := range att.Stages {
+		if !known[name] {
+			t.Errorf("unknown stage %q in attribution", name)
+		}
+		if st.Samples <= 0 || st.Samples > att.Fetched {
+			t.Errorf("stage %s samples = %d with %d fetched", name, st.Samples, att.Fetched)
+		}
+		if st.P50MS < 0 || st.P99MS < st.P50MS {
+			t.Errorf("stage %s quantiles p50=%g p99=%g", name, st.P50MS, st.P99MS)
+		}
+		if st.Share < 0 || st.Share > 1 {
+			t.Errorf("stage %s share = %g", name, st.Share)
+		}
+		shareSum += st.Share
+	}
+	// Exclusive attribution partitions wall time: shares cannot overrun it.
+	if shareSum > 1.0001 {
+		t.Errorf("stage shares sum to %g > 1", shareSum)
+	}
+	// The cache stage runs on every plan-serving request, so it must appear
+	// whatever mix the rolling sample window retained. (Compute may not: the
+	// window keeps the newest samples, and with a small hot catalog the tail
+	// of the run is all cache hits.)
+	if _, ok := att.Stages["cache"]; !ok {
+		t.Errorf("no cache stage in %v", att.Stages)
+	}
+
+	table := att.Table()
+	for _, want := range []string{"stage latency attribution", "p99_ms", "cache"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// TestTraceAttributionDisabled: TraceEvery 0 must leave the report without
+// an attribution block and never mint trace headers.
+func TestTraceAttributionDisabled(t *testing.T) {
+	cfg := baseConfig(t, startSieved(t))
+	cfg.Duration = cfg.Duration / 2
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TraceAttribution != nil {
+		t.Fatalf("untraced run reported attribution: %+v", rep.TraceAttribution)
+	}
+}
+
+func TestQuantileSorted(t *testing.T) {
+	if q := quantileSorted(nil, 0.5); q != 0 {
+		t.Fatalf("empty quantile = %g", q)
+	}
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if q := quantileSorted(s, 0); q != 1 {
+		t.Fatalf("p0 = %g", q)
+	}
+	if q := quantileSorted(s, 1); q != 10 {
+		t.Fatalf("p100 = %g", q)
+	}
+	if q := quantileSorted(s, 0.5); q != 6 {
+		t.Fatalf("p50 = %g (nearest-rank on 10 samples)", q)
+	}
+}
+
+func TestAttributionTableNil(t *testing.T) {
+	var a *TraceAttribution
+	if got := a.Table(); got != "" {
+		t.Fatalf("nil table = %q", got)
+	}
+	if got := (&TraceAttribution{}).Table(); got != "" {
+		t.Fatalf("empty table = %q", got)
+	}
+}

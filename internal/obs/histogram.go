@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math"
+	"sort"
 	"sync/atomic"
 	"time"
 )
@@ -25,7 +26,10 @@ var invLogGrowth = 1 / math.Log(histGrowth)
 // other non-negative values. Observations are lock-free atomic increments;
 // quantiles are estimated from the bucket counts with relative error bounded
 // by the bucket growth factor and clamped to the exact observed min/max.
-// The zero value is NOT ready; create via NewHistogram or Registry.Histogram.
+// The zero value cannot record (create via NewHistogram or
+// Registry.Histogram), but every read accessor — Quantile, Count, Sum, Min,
+// Max — is safe on a nil receiver and on the zero value, returning the same
+// documented empty-histogram results a fresh NewHistogram would.
 type Histogram struct {
 	counts  []atomic.Uint64
 	count   atomic.Uint64
@@ -64,8 +68,12 @@ func bucketBounds(i int) (lo, hi float64) {
 }
 
 // Observe records one value. Negative and NaN values count into the lowest
-// bucket (they are clock noise in practice, not valid latencies).
+// bucket (they are clock noise in practice, not valid latencies). Observing
+// into a nil histogram (a lookup on a nil Registry) is a no-op.
 func (h *Histogram) Observe(v float64) {
+	if h == nil || h.counts == nil {
+		return
+	}
 	h.counts[bucketIndex(v)].Add(1)
 	h.count.Add(1)
 	for {
@@ -91,14 +99,27 @@ func (h *Histogram) Observe(v float64) {
 // ObserveDuration records a wall-clock duration, converted to seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
-// Count returns the number of observations.
-func (h *Histogram) Count() uint64 { return h.count.Load() }
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
 
-// Sum returns the sum of observed values.
-func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+// Sum returns the sum of observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
 
 // Min returns the smallest observed value (0 before any observation).
 func (h *Histogram) Min() float64 {
+	if h == nil {
+		return 0
+	}
 	v := math.Float64frombits(h.minBits.Load())
 	if math.IsInf(v, 1) {
 		return 0
@@ -108,6 +129,9 @@ func (h *Histogram) Min() float64 {
 
 // Max returns the largest observed value (0 before any observation).
 func (h *Histogram) Max() float64 {
+	if h == nil {
+		return 0
+	}
 	v := math.Float64frombits(h.maxBits.Load())
 	if math.IsInf(v, -1) {
 		return 0
@@ -117,11 +141,20 @@ func (h *Histogram) Max() float64 {
 
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed values: the
 // geometric midpoint of the bucket holding the target rank, clamped to the
-// exact observed [min, max]. Returns 0 before any observation.
+// exact observed [min, max].
+//
+// An empty histogram — no observations yet, the zero value, or a nil
+// receiver — returns exactly 0 for every q. That zero is a documented
+// contract (dashboards render "no data yet" as 0ms), not a bucket-math
+// artifact: the rank walk below never runs without observations, so the
+// empty answer can never drift with the bucket layout.
 func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
 	// Snapshot the counts; concurrent observers may race individual buckets
 	// against the total, so walk with the snapshot's own total.
-	snap := make([]uint64, histBuckets)
+	snap := make([]uint64, len(h.counts))
 	var total uint64
 	for i := range h.counts {
 		snap[i] = h.counts[i].Load()
@@ -158,9 +191,42 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.Max()
 }
 
+// Cumulative maps the histogram onto a fixed explicit-bucket ladder: cum[i]
+// is the number of observations ≤ bounds[i] (the Prometheus `le` view), and
+// total is the overall observation count (the +Inf bucket). bounds must be
+// sorted ascending. The mapping is conservative: a log bucket is attributed
+// to the first bound that is ≥ its upper edge, so every reported cum[i]
+// counts only observations genuinely ≤ bounds[i]; observations past the last
+// bound appear in total alone. Safe on a nil receiver (all-zero ladder).
+func (h *Histogram) Cumulative(bounds []float64) (cum []uint64, total uint64) {
+	cum = make([]uint64, len(bounds))
+	if h == nil || h.counts == nil {
+		return cum, 0
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		total += c
+		_, hi := bucketBounds(i)
+		j := sort.SearchFloat64s(bounds, hi)
+		if j < len(bounds) {
+			cum[j] += c
+		}
+	}
+	for i := 1; i < len(cum); i++ {
+		cum[i] += cum[i-1]
+	}
+	return cum, total
+}
+
 // buckets returns the non-empty (upperBound, cumulativeCount) pairs, the
 // Prometheus-histogram view of the data.
 func (h *Histogram) buckets() []BucketReport {
+	if h == nil {
+		return nil
+	}
 	var out []BucketReport
 	var cum uint64
 	for i := range h.counts {

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"testing"
+	"time"
 )
 
 // exactQuantile is the reference: nearest-rank quantile on sorted data.
@@ -124,5 +125,103 @@ func TestHistogramConcurrentObserve(t *testing.T) {
 	}
 	if q := h.Quantile(0.5); q < 1e-4 || q > 2e-4 {
 		t.Fatalf("median outside observed range: %g", q)
+	}
+}
+
+// TestHistogramEmptyQuantileDocumentedZero pins the empty-histogram contract:
+// every read accessor returns exactly 0 on a fresh histogram, the zero value,
+// and a nil receiver — never a bucket-midpoint artifact.
+func TestHistogramEmptyQuantileDocumentedZero(t *testing.T) {
+	for name, h := range map[string]*Histogram{
+		"fresh": NewHistogram(),
+		"zero":  {},
+		"nil":   nil,
+	} {
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			if got := h.Quantile(q); got != 0 {
+				t.Errorf("%s histogram Quantile(%g) = %g, want exactly 0", name, q, got)
+			}
+		}
+		if h.Count() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 {
+			t.Errorf("%s histogram non-zero accessors: count=%d sum=%g min=%g max=%g",
+				name, h.Count(), h.Sum(), h.Min(), h.Max())
+		}
+		if cum, total := h.Cumulative([]float64{0.1, 1}); total != 0 || cum[0] != 0 || cum[1] != 0 {
+			t.Errorf("%s histogram Cumulative not all-zero: %v total=%d", name, cum, total)
+		}
+	}
+	// Observing into the zero value and a nil receiver must be a no-op, not a
+	// panic (nil Registry lookups hand these out).
+	var zero Histogram
+	zero.Observe(1)
+	var nilH *Histogram
+	nilH.Observe(1)
+	nilH.ObserveDuration(time.Second)
+	if zero.Count() != 0 || nilH.Count() != 0 {
+		t.Fatalf("zero/nil histogram recorded observations")
+	}
+}
+
+// TestHistogramCumulative checks the explicit-bucket downsampling: counts land
+// at the first bound ≥ their log bucket's upper edge, the ladder is cumulative,
+// and values past the last bound show up only in the total (+Inf bucket).
+func TestHistogramCumulative(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 10; i++ {
+		h.Observe(0.001) // well under the first bound
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(0.5) // between bounds 0.1 and 1
+	}
+	for i := 0; i < 3; i++ {
+		h.Observe(100) // past the last bound → +Inf only
+	}
+	bounds := []float64{0.1, 1, 10}
+	cum, total := h.Cumulative(bounds)
+	if total != 18 {
+		t.Fatalf("total = %d, want 18", total)
+	}
+	if cum[0] != 10 {
+		t.Fatalf("cum[0.1] = %d, want 10", cum[0])
+	}
+	if cum[1] != 15 {
+		t.Fatalf("cum[1] = %d, want 15", cum[1])
+	}
+	if cum[2] != 15 {
+		t.Fatalf("cum[10] = %d, want 15 (100s only in +Inf)", cum[2])
+	}
+	// Monotone non-decreasing ladder, and cum ≤ total throughout.
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("ladder not monotone: %v", cum)
+		}
+	}
+	if cum[len(cum)-1] > total {
+		t.Fatalf("cum exceeds total: %v > %d", cum, total)
+	}
+}
+
+// TestRegistryHistograms checks the snapshot accessor returns live histograms
+// under a copied map, and is nil-safe.
+func TestRegistryHistograms(t *testing.T) {
+	var nilReg *Registry
+	if m := nilReg.Histograms(); m != nil {
+		t.Fatalf("nil registry Histograms() = %v, want nil", m)
+	}
+	r := NewRegistry()
+	r.Histogram("a").Observe(1)
+	m := r.Histograms()
+	if len(m) != 1 || m["a"] == nil {
+		t.Fatalf("Histograms() = %v", m)
+	}
+	// Live histogram: later observations are visible through the snapshot.
+	r.Histogram("a").Observe(2)
+	if m["a"].Count() != 2 {
+		t.Fatalf("snapshot histogram not live: count=%d", m["a"].Count())
+	}
+	// Copied map: creating a new histogram does not mutate the snapshot.
+	r.Histogram("b")
+	if len(m) != 1 {
+		t.Fatalf("snapshot map mutated: %v", m)
 	}
 }

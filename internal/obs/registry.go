@@ -73,6 +73,22 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Histograms returns a point-in-time copy of the name → histogram map. The
+// map is a fresh copy (safe to range without locks); the histograms are the
+// live ones, so reading them observes concurrent updates. Nil-safe.
+func (r *Registry) Histograms() map[string]*Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		out[k] = v
+	}
+	return out
+}
+
 // snapshot freezes the registry into report form, names sorted.
 func (r *Registry) snapshot() ([]CounterReport, []HistogramReport) {
 	if r == nil {

@@ -7,9 +7,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"time"
 
 	"github.com/gpusampling/sieve/api"
+	"github.com/gpusampling/sieve/internal/obs"
 )
 
 // The batch wire types live in the exported api package; the server consumes
@@ -18,13 +18,6 @@ type (
 	BatchRequest    = api.BatchRequest
 	BatchItemResult = api.BatchItemResult
 )
-
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	s.metrics.Requests.Add(1)
-	status := s.serveBatch(w, r)
-	s.metrics.observe(status, time.Since(start))
-}
 
 // serveBatch answers POST /v1/batch: one scheduler pass over many profiles.
 // The batch handler itself holds no worker slot — admission control lives
@@ -37,12 +30,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // envelopes are streamed (and flushed) as they complete, so a long batch
 // delivers results incrementally.
 func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) int {
+	_, decodeSpan := obs.StartSpan(r.Context(), stageDecode)
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
+		decodeSpan.End()
 		return s.writeError(w, err)
 	}
 	var breq BatchRequest
-	if err := json.Unmarshal(body, &breq); err != nil {
+	err = json.Unmarshal(body, &breq)
+	decodeSpan.End()
+	if err != nil {
 		return s.writeError(w, badRequest{fmt.Errorf("decode batch request: %w", err)})
 	}
 	if len(breq.Items) == 0 {
@@ -63,7 +60,12 @@ func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request) int {
 		if i > 0 {
 			_, _ = io.WriteString(w, ",")
 		}
-		item := s.batchItem(ctx, &breq.Items[i])
+		// Each item traces under its own span, so the batch's trace shows the
+		// per-item serving path (cache hit, flight join, compute) in sequence.
+		ictx, itemSpan := obs.StartSpan(ctx, "item")
+		itemSpan.SetAttr("index", i)
+		item := s.batchItem(ictx, &breq.Items[i])
+		itemSpan.End()
 		buf, err := json.Marshal(item)
 		if err != nil {
 			buf = []byte(`{"status":500,"error":"marshal item result"}`)
@@ -91,7 +93,11 @@ func (s *Server) batchItem(ctx context.Context, req *SampleRequest) BatchItemRes
 	}
 	s.metrics.MethodRequests(rv.method).Add(1)
 	id := rv.key("sample")
-	if doc, ok := s.cache.get(id); ok {
+	_, cacheSpan := obs.StartSpan(ctx, stageCache)
+	doc, hit := s.cache.get(id)
+	cacheSpan.SetAttr("hit", hit)
+	cacheSpan.End()
+	if hit {
 		s.metrics.CacheHits.Add(1)
 		return BatchItemResult{Status: http.StatusOK, PlanID: id, Cached: true, Plan: doc}
 	}

@@ -3,18 +3,35 @@ package server
 import (
 	"expvar"
 	"fmt"
+	"io"
 	"net/http"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"github.com/gpusampling/sieve/api"
 	"github.com/gpusampling/sieve/internal/obs"
 )
 
 // requestSecondsMetric names the request-latency histogram in the registry
 // and therefore in the Prometheus exposition.
 const requestSecondsMetric = "sieved_request_seconds"
+
+// stageSecondsMetric names the per-stage latency histogram family: one
+// Prometheus histogram per serving stage, labeled {stage="..."}.
+const stageSecondsMetric = "sieved_stage_seconds"
+
+// latencyBuckets is the explicit upper-bound ladder every latency histogram
+// is exposed with (Prometheus le values, seconds). The internal log-bucketed
+// histograms are far finer; Cumulative downsamples them onto this ladder at
+// scrape time, so changing the ladder never loses recorded data.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
 
 // metrics holds the server's expvar counters. The vars are kept off the
 // global expvar namespace so several servers can coexist in one process
@@ -48,8 +65,59 @@ type metrics struct {
 	methodMu     sync.Mutex
 	methodCounts map[string]*expvar.Int
 
+	// stageHists holds one latency histogram per serving stage (decode, slot,
+	// compute, …), fed by finishTrace with each completed request's per-stage
+	// attribution and exposed as sieved_stage_seconds{stage="..."}. Like
+	// methodCounts, the map grows as stages are first observed.
+	stageMu    sync.Mutex
+	stageHists map[string]*obs.Histogram
+
+	// startOnce pins the epoch for sieved_uptime_seconds: server.New calls
+	// started() at construction (the zero-value struct has no constructor of
+	// its own), so the gauge measures from server start, not first scrape.
+	startOnce sync.Once
+	start     time.Time
+
 	regOnce sync.Once
 	reg     *obs.Registry
+}
+
+// started returns the first-use timestamp backing the uptime gauge.
+func (m *metrics) started() time.Time {
+	m.startOnce.Do(func() { m.start = time.Now() })
+	return m.start
+}
+
+// observeStage records one request's attributed time in a serving stage.
+func (m *metrics) observeStage(stage string, ns int64) {
+	m.stageMu.Lock()
+	if m.stageHists == nil {
+		m.stageHists = make(map[string]*obs.Histogram)
+	}
+	h, ok := m.stageHists[stage]
+	if !ok {
+		h = obs.NewHistogram()
+		m.stageHists[stage] = h
+	}
+	m.stageMu.Unlock()
+	h.Observe(float64(ns) / 1e9)
+}
+
+// stageSnapshot returns the per-stage histograms sorted by stage name.
+func (m *metrics) stageSnapshot() []stageHist {
+	m.stageMu.Lock()
+	out := make([]stageHist, 0, len(m.stageHists))
+	for name, h := range m.stageHists {
+		out = append(out, stageHist{name, h})
+	}
+	m.stageMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].stage < out[j].stage })
+	return out
+}
+
+type stageHist struct {
+	stage string
+	h     *obs.Histogram
 }
 
 // MethodRequests returns the per-methodology sample-request counter for the
@@ -159,10 +227,31 @@ func (m *metrics) handler(cacheLen func() int) http.HandlerFunc {
 	}
 }
 
-// prometheus serves the counters and the latency summary in Prometheus text
-// exposition format (0.0.4): counters and gauges are written directly from
-// the expvar values, the latency summaries (overall and per status class)
-// come from the shared registry.
+// fmtLE renders an upper bound the way Prometheus spells le values.
+func fmtLE(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// writeHistogram renders one histogram at the explicit latencyBuckets ladder
+// in Prometheus histogram form: cumulative _bucket samples per le (plus
+// +Inf), then _sum and _count. labels ("" or `stage="x",`) is spliced before
+// the le label, so a labeled family shares one # TYPE header written by the
+// caller.
+func writeHistogram(w io.Writer, name, labels string, h *obs.Histogram) {
+	cum, total := h.Cumulative(latencyBuckets)
+	for i, b := range latencyBuckets {
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, labels, fmtLE(b), cum[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, total)
+	if labels != "" {
+		labels = "{" + strings.TrimRight(labels, ",") + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n%s_count%s %d\n", name, labels, h.Sum(), name, labels, h.Count())
+}
+
+// prometheus serves the counters and the latency histograms in Prometheus
+// text exposition format (0.0.4): counters and gauges are written directly
+// from the expvar values; the latency histograms (overall, per status class,
+// per serving stage) render with explicit buckets — real _bucket/_sum/_count
+// series, not summary quantiles — so scrapes aggregate across replicas.
 func (m *metrics) prometheus(cacheLen func() int) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -191,7 +280,32 @@ func (m *metrics) prometheus(cacheLen func() int) http.HandlerFunc {
 		}
 		gauge("sieved_in_flight", m.InFlight.Value())
 		gauge("sieved_cache_entries", int64(cacheLen()))
-		_ = m.registry().WritePrometheus(w)
+		gauge("sieved_goroutines", int64(runtime.NumGoroutine()))
+		fmt.Fprintf(w, "# TYPE sieved_uptime_seconds gauge\nsieved_uptime_seconds %g\n",
+			time.Since(m.started()).Seconds())
+		// Build/protocol identity: the same version /healthz reports, as a
+		// constant gauge with the value in a label (the node_exporter idiom).
+		fmt.Fprintf(w, "# TYPE sieved_build_info gauge\nsieved_build_info{version=%q} 1\n", api.Version)
+
+		// Request-latency histograms from the shared registry
+		// (sieved_request_seconds and its _class_* split), explicit buckets.
+		hists := m.registry().Histograms()
+		names := make([]string, 0, len(hists))
+		for name := range hists {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+			writeHistogram(w, name, "", hists[name])
+		}
+		// Per-stage attribution histograms, one labeled family.
+		if stages := m.stageSnapshot(); len(stages) > 0 {
+			fmt.Fprintf(w, "# TYPE %s histogram\n", stageSecondsMetric)
+			for _, st := range stages {
+				writeHistogram(w, stageSecondsMetric, fmt.Sprintf("stage=%q,", st.stage), st.h)
+			}
+		}
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"github.com/gpusampling/sieve/api"
 	"github.com/gpusampling/sieve/client"
+	"github.com/gpusampling/sieve/internal/obs"
 )
 
 // ringVnodes is the number of virtual points each replica contributes to the
@@ -188,7 +189,16 @@ func (s *Server) proxySample(w http.ResponseWriter, ctx context.Context, rv *res
 	if err != nil {
 		return 0, false
 	}
-	status, respBody, err := pc.SampleRaw(ctx, rv.req)
+	// The hop runs under a proxy-stage span and carries this request's trace
+	// id, so the owner's trace of the forwarded request shares the id and the
+	// cluster-wide path reassembles from the per-replica stores.
+	pctx, span := obs.StartSpan(ctx, stageProxy)
+	span.SetAttr("owner", owner)
+	defer span.End()
+	if tid := traceID(ctx); tid != "" {
+		pctx = client.WithTraceID(pctx, tid)
+	}
+	status, respBody, err := pc.SampleRaw(pctx, rv.req)
 	if err != nil {
 		if s.cfg.Logger != nil {
 			s.cfg.Logger.Warn("peer proxy failed, computing locally", "owner", owner, "error", err.Error())
@@ -219,7 +229,13 @@ func (s *Server) fetchPlanFromPeer(ctx context.Context, owner, id string) []byte
 	if err != nil {
 		return nil
 	}
-	env, err := pc.GetPlan(ctx, id)
+	pctx, span := obs.StartSpan(ctx, stageProxy)
+	span.SetAttr("owner", owner)
+	defer span.End()
+	if tid := traceID(ctx); tid != "" {
+		pctx = client.WithTraceID(pctx, tid)
+	}
+	env, err := pc.GetPlan(pctx, id)
 	if err != nil {
 		if s.cfg.Logger != nil {
 			s.cfg.Logger.Warn("peer plan fetch failed", "owner", owner, "error", err.Error())

@@ -51,6 +51,7 @@ import (
 	"github.com/gpusampling/sieve"
 	"github.com/gpusampling/sieve/api"
 	"github.com/gpusampling/sieve/internal/core"
+	"github.com/gpusampling/sieve/internal/obs"
 	"github.com/gpusampling/sieve/internal/pks"
 	"github.com/gpusampling/sieve/internal/sampler"
 )
@@ -74,6 +75,10 @@ type Config struct {
 	// Parallelism is the per-request sampling worker default when the
 	// request does not choose its own (0 = GOMAXPROCS).
 	Parallelism int
+	// TraceEntries bounds the completed-trace ring store behind
+	// GET /debug/traces (256 if zero). Old traces are overwritten once the
+	// store is full.
+	TraceEntries int
 	// Logger, when set, receives one structured access log line per request
 	// (method, path, status, duration) plus error detail for failed runs.
 	// Nil disables request logging.
@@ -96,6 +101,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchItems <= 0 {
 		c.MaxBatchItems = 64
 	}
+	if c.TraceEntries <= 0 {
+		c.TraceEntries = 256
+	}
 	return c
 }
 
@@ -107,6 +115,7 @@ type Server struct {
 	metrics metrics
 	mux     *http.ServeMux
 	flights flightGroup
+	traces  *traceStore
 	shard   atomic.Pointer[ring] // nil = single node, everything local
 	peer    *http.Client
 	// preCompute, when set (tests only), runs at the start of every
@@ -119,20 +128,24 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		slots: make(chan struct{}, cfg.MaxConcurrent),
-		cache: newPlanCache(cfg.CacheEntries),
-		mux:   http.NewServeMux(),
-		peer:  &http.Client{},
+		cfg:    cfg,
+		slots:  make(chan struct{}, cfg.MaxConcurrent),
+		cache:  newPlanCache(cfg.CacheEntries),
+		mux:    http.NewServeMux(),
+		traces: newTraceStore(cfg.TraceEntries),
+		peer:   &http.Client{},
 	}
 	s.flights.onJoin = func() { s.metrics.Coalesced.Add(1) }
-	s.mux.HandleFunc("POST /v1/sample", s.handleSample)
-	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
-	s.mux.HandleFunc("POST /v1/characterize", s.handleCharacterize)
-	s.mux.HandleFunc("GET /v1/plans/{id}", s.handlePlanGet)
+	s.metrics.started() // pin uptime's epoch to construction, not first scrape
+	s.mux.HandleFunc("POST /v1/sample", s.traced(s.serveSample))
+	s.mux.HandleFunc("POST /v1/batch", s.traced(s.serveBatch))
+	s.mux.HandleFunc("POST /v1/characterize", s.traced(s.serveCharacterize))
+	s.mux.HandleFunc("GET /v1/plans/{id}", s.traced(s.servePlanGet))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /debug/metrics", s.metrics.handler(s.cache.len))
 	s.mux.HandleFunc("GET /metrics", s.metrics.prometheus(s.cache.len))
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceGet)
 	return s
 }
 
@@ -675,20 +688,32 @@ func respondDocument(w http.ResponseWriter, id string, cached, coalesced bool, d
 // held a slot across item waits and deadlocked the server under
 // cache-hostile load). shared reports whether this call joined an
 // already-running flight.
+// The flight wait runs under a flight-stage span. For the leader the span
+// contains the slot and compute stage spans (the detached computation
+// inherits the leader's span chain through context.WithoutCancel, which
+// preserves context values); a follower's span stays childless — it links to
+// the leader's trace via the leader_trace attribute instead of duplicating
+// the compute subtree.
 func (s *Server) computePlan(ctx context.Context, id string, rv *resolved) (doc []byte, shared bool, err error) {
-	res, shared, err := s.flights.do(ctx, id, func() flightResult {
+	fctx, flightSpan := obs.StartSpan(ctx, stageFlight)
+	defer flightSpan.End()
+	res, shared, leader, err := s.flights.do(fctx, id, traceID(ctx), func() flightResult {
 		if gate := s.preCompute; gate != nil {
 			gate(id)
 		}
-		cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), s.cfg.RequestTimeout)
+		cctx, cancel := context.WithTimeout(context.WithoutCancel(fctx), s.cfg.RequestTimeout)
 		defer cancel()
+		_, slotSpan := obs.StartSpan(cctx, stageSlot)
 		release, err := s.acquireSlot(cctx)
+		slotSpan.End()
 		if err != nil {
 			return flightResult{err: err}
 		}
 		defer release()
 		s.metrics.Computations.Add(1)
-		plan, err := rv.samplePlan(cctx)
+		compCtx, compSpan := obs.StartSpan(cctx, stageCompute)
+		defer compSpan.End()
+		plan, err := rv.samplePlan(compCtx)
 		if err != nil {
 			return flightResult{err: err}
 		}
@@ -696,39 +721,47 @@ func (s *Server) computePlan(ctx context.Context, id string, rv *resolved) (doc 
 		if err != nil {
 			return flightResult{err: err}
 		}
+		compSpan.SetAttr("plan_id", id)
 		s.metrics.RowsIngested.Add(int64(plan.TierInvocations[0] + plan.TierInvocations[1] + plan.TierInvocations[2]))
 		s.cache.put(id, doc)
 		return flightResult{doc: doc}
 	})
+	if shared {
+		flightSpan.SetAttr("coalesced", true)
+		if leader != "" {
+			flightSpan.SetAttr("leader_trace", leader)
+		}
+	}
 	if err != nil {
 		return nil, shared, err
 	}
 	return res.doc, shared, res.err
 }
 
-func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	s.metrics.Requests.Add(1)
-	status := s.serveSample(w, r)
-	s.metrics.observe(status, time.Since(start))
-}
-
 // serveSample answers POST /v1/sample and returns the terminal HTTP status,
-// so the wrapper can record latency for every outcome, errors included.
+// so the traced wrapper can record latency for every outcome, errors
+// included.
 func (s *Server) serveSample(w http.ResponseWriter, r *http.Request) int {
+	_, decodeSpan := obs.StartSpan(r.Context(), stageDecode)
 	req, err := s.decodeRequest(w, r)
 	if err != nil {
+		decodeSpan.End()
 		return s.writeError(w, err)
 	}
 	rv, err := s.resolve(req)
+	decodeSpan.End()
 	if err != nil {
 		return s.writeError(w, err)
 	}
 	s.metrics.MethodRequests(rv.method).Add(1)
 	id := rv.key("sample")
-	if doc, ok := s.cache.get(id); ok {
+	_, cacheSpan := obs.StartSpan(r.Context(), stageCache)
+	doc, hit := s.cache.get(id)
+	cacheSpan.SetAttr("hit", hit)
+	cacheSpan.End()
+	if hit {
 		s.metrics.CacheHits.Add(1)
-		respondDocument(w, id, true, false, doc)
+		s.respondTraced(r.Context(), w, id, true, false, doc)
 		return http.StatusOK
 	}
 	s.metrics.CacheMisses.Add(1)
@@ -750,38 +783,46 @@ func (s *Server) serveSample(w http.ResponseWriter, r *http.Request) int {
 	if err != nil {
 		return s.writeError(w, err)
 	}
-	respondDocument(w, id, false, shared, doc)
+	s.respondTraced(r.Context(), w, id, false, shared, doc)
 	return http.StatusOK
 }
 
-func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	s.metrics.Requests.Add(1)
-	status := s.serveCharacterize(w, r)
-	s.metrics.observe(status, time.Since(start))
+// respondTraced writes the plan envelope under a write-stage span.
+func (s *Server) respondTraced(ctx context.Context, w http.ResponseWriter, id string, cached, coalesced bool, doc []byte) {
+	_, span := obs.StartSpan(ctx, stageWrite)
+	respondDocument(w, id, cached, coalesced, doc)
+	span.End()
 }
 
 func (s *Server) serveCharacterize(w http.ResponseWriter, r *http.Request) int {
+	_, decodeSpan := obs.StartSpan(r.Context(), stageDecode)
 	req, err := s.decodeRequest(w, r)
 	if err != nil {
+		decodeSpan.End()
 		return s.writeError(w, err)
 	}
 	rv, err := s.resolve(req)
+	decodeSpan.End()
 	if err != nil {
 		return s.writeError(w, err)
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
+	_, slotSpan := obs.StartSpan(ctx, stageSlot)
 	release, err := s.acquireSlot(ctx)
+	slotSpan.End()
 	if err != nil {
 		return s.writeError(w, err)
 	}
 	defer release()
-	rows, err := rv.rows(ctx)
+	compCtx, compSpan := obs.StartSpan(ctx, stageCompute)
+	rows, err := rv.rows(compCtx)
 	if err != nil {
+		compSpan.End()
 		return s.writeError(w, err)
 	}
-	sums, err := sieve.CharacterizeContext(ctx, rows, rv.opts.Theta)
+	sums, err := sieve.CharacterizeContext(compCtx, rows, rv.opts.Theta)
+	compSpan.End()
 	if err != nil {
 		if rv.req.ProfileCSV != "" && statusFor(err) == http.StatusInternalServerError {
 			err = badRequest{err}
@@ -798,15 +839,10 @@ func (s *Server) serveCharacterize(w http.ResponseWriter, r *http.Request) int {
 			DominantCTA: k.DominantCTA, Strata: k.Strata,
 		}
 	}
+	_, writeSpan := obs.StartSpan(ctx, stageWrite)
 	writeJSON(w, http.StatusOK, api.CharacterizeResponse{Kernels: out})
+	writeSpan.End()
 	return http.StatusOK
-}
-
-func (s *Server) handlePlanGet(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	s.metrics.Requests.Add(1)
-	status := s.servePlanGet(w, r)
-	s.metrics.observe(status, time.Since(start))
 }
 
 // servePlanGet answers GET /v1/plans/{id}: from the local cache when
@@ -814,9 +850,13 @@ func (s *Server) handlePlanGet(w http.ResponseWriter, r *http.Request) {
 // any replica serves any cluster-cached plan.
 func (s *Server) servePlanGet(w http.ResponseWriter, r *http.Request) int {
 	id := r.PathValue("id")
-	if doc, ok := s.cache.get(id); ok {
+	_, cacheSpan := obs.StartSpan(r.Context(), stageCache)
+	doc, hit := s.cache.get(id)
+	cacheSpan.SetAttr("hit", hit)
+	cacheSpan.End()
+	if hit {
 		s.metrics.CacheHits.Add(1)
-		respondDocument(w, id, true, false, doc)
+		s.respondTraced(r.Context(), w, id, true, false, doc)
 		return http.StatusOK
 	}
 	if owner, ok := s.shardRing().ownedElsewhere(id); ok && !isForwarded(r) {
@@ -824,7 +864,7 @@ func (s *Server) servePlanGet(w http.ResponseWriter, r *http.Request) int {
 			s.cache.put(id, doc)
 			s.metrics.PeerFills.Add(1)
 			s.metrics.CacheHits.Add(1)
-			respondDocument(w, id, true, false, doc)
+			s.respondTraced(r.Context(), w, id, true, false, doc)
 			return http.StatusOK
 		}
 	}

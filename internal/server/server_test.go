@@ -537,7 +537,10 @@ func TestDebugMetricsJSONShape(t *testing.T) {
 }
 
 // TestPrometheusMetricsEndpoint checks GET /metrics serves valid-looking
-// Prometheus text exposition with the counters and the latency summary.
+// Prometheus text exposition: the counters, the request-latency histogram
+// with explicit buckets (real _bucket series, not summary quantiles), the
+// per-stage attribution histograms, and the build/uptime/goroutine gauges
+// with the version /healthz reports.
 func TestPrometheusMetricsEndpoint(t *testing.T) {
 	ts := newTestServer(t, Config{})
 	if status, _ := postCSV(t, ts.URL+"/v1/sample", testCSV()); status != http.StatusOK {
@@ -563,13 +566,51 @@ func TestPrometheusMetricsEndpoint(t *testing.T) {
 		"# TYPE sieved_requests_total counter\nsieved_requests_total 1\n",
 		"# TYPE sieved_cache_misses_total counter\nsieved_cache_misses_total 1\n",
 		"# TYPE sieved_in_flight gauge\n",
-		"# TYPE sieved_request_seconds summary\n",
-		`sieved_request_seconds{quantile="0.99"}`,
+		"# TYPE sieved_request_seconds histogram\n",
+		`sieved_request_seconds_bucket{le="+Inf"} 1`,
 		"sieved_request_seconds_count 1\n",
+		"# TYPE sieved_stage_seconds histogram\n",
+		`sieved_stage_seconds_bucket{stage="compute",le="+Inf"} 1`,
+		`sieved_stage_seconds_count{stage="slot"} 1`,
+		`sieved_stage_seconds_count{stage="decode"} 1`,
+		fmt.Sprintf("# TYPE sieved_build_info gauge\nsieved_build_info{version=%q} 1\n", api.Version),
+		"# TYPE sieved_uptime_seconds gauge\n",
+		"# TYPE sieved_goroutines gauge\n",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("/metrics missing %q in:\n%s", want, out)
 		}
+	}
+	if strings.Contains(out, "summary") || strings.Contains(out, `quantile="`) {
+		t.Errorf("/metrics still exposes summary quantiles:\n%s", out)
+	}
+	// The explicit-bucket ladder must be cumulative: the one recorded request
+	// appears in every bucket at or above its latency.
+	if !strings.Contains(out, `sieved_request_seconds_bucket{le="60"} 1`) {
+		t.Errorf("/metrics top finite bucket does not hold the request:\n%s", out)
+	}
+	// Uptime's epoch is server construction, not the first scrape: by scrape
+	// time at least the slept interval must have elapsed.
+	time.Sleep(5 * time.Millisecond)
+	resp2, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, err := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var uptime float64
+	for _, line := range strings.Split(string(body2), "\n") {
+		if rest, ok := strings.CutPrefix(line, "sieved_uptime_seconds "); ok {
+			if _, err := fmt.Sscanf(rest, "%g", &uptime); err != nil {
+				t.Fatalf("parse uptime %q: %v", rest, err)
+			}
+		}
+	}
+	if uptime < 0.005 {
+		t.Errorf("sieved_uptime_seconds = %g, want >= 0.005 (epoch should be server construction)", uptime)
 	}
 }
 

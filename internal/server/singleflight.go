@@ -14,10 +14,13 @@ type flightResult struct {
 
 // flight is one in-progress computation. res is written exactly once, before
 // done is closed; waiters read it only after <-done, so the channel close
-// publishes the result.
+// publishes the result. owner is the trace id of the request that started
+// the flight ("" untraced), immutable after creation, so joiners can link
+// their trace to the leader's instead of duplicating its compute spans.
 type flight struct {
-	done chan struct{}
-	res  flightResult
+	done  chan struct{}
+	owner string
+	res   flightResult
 }
 
 // flightGroup is the key-indexed in-flight table behind request coalescing:
@@ -40,18 +43,21 @@ type flightGroup struct {
 // computation of the same key. The first caller starts fn on a detached
 // goroutine (fn is responsible for bounding itself — see computePlan's
 // detached timeout); every caller then waits for the flight to finish or for
-// its own ctx to expire, whichever is first. shared reports whether this call
-// joined a flight another call started. err is non-nil only when ctx expired
-// while waiting; the computation's own error travels inside the result so all
+// its own ctx to expire, whichever is first. owner is the caller's trace id
+// ("" untraced): it names the flight when this call starts one, and comes
+// back as leader when this call joins one, so a joiner can link its trace to
+// the computation it waited on. shared reports whether this call joined a
+// flight another call started. err is non-nil only when ctx expired while
+// waiting; the computation's own error travels inside the result so all
 // waiters see it.
-func (g *flightGroup) do(ctx context.Context, key string, fn func() flightResult) (res flightResult, shared bool, err error) {
+func (g *flightGroup) do(ctx context.Context, key, owner string, fn func() flightResult) (res flightResult, shared bool, leader string, err error) {
 	g.mu.Lock()
 	if g.flights == nil {
 		g.flights = make(map[string]*flight)
 	}
 	f, ok := g.flights[key]
 	if !ok {
-		f = &flight{done: make(chan struct{})}
+		f = &flight{done: make(chan struct{}), owner: owner}
 		g.flights[key] = f
 		go func() {
 			res := fn()
@@ -67,15 +73,18 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func() flightResult
 		}()
 	}
 	g.mu.Unlock()
-	if ok && g.onJoin != nil {
-		g.onJoin()
+	if ok {
+		leader = f.owner
+		if g.onJoin != nil {
+			g.onJoin()
+		}
 	}
 
 	select {
 	case <-f.done:
-		return f.res, ok, nil
+		return f.res, ok, leader, nil
 	case <-ctx.Done():
-		return flightResult{}, ok, ctx.Err()
+		return flightResult{}, ok, leader, ctx.Err()
 	}
 }
 

@@ -149,7 +149,7 @@ func TestFlightGroupFollowerTimeout(t *testing.T) {
 	started := make(chan struct{})
 	patient := make(chan flightResult, 1)
 	go func() {
-		res, _, err := g.do(context.Background(), "k", func() flightResult {
+		res, _, _, err := g.do(context.Background(), "k", "", func() flightResult {
 			close(started)
 			<-gate
 			return flightResult{doc: []byte("plan")}
@@ -163,7 +163,7 @@ func TestFlightGroupFollowerTimeout(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
 	defer cancel()
-	_, shared, err := g.do(ctx, "k", func() flightResult {
+	_, shared, _, err := g.do(ctx, "k", "", func() flightResult {
 		t.Error("follower started a second computation")
 		return flightResult{}
 	})
@@ -188,7 +188,7 @@ func TestFlightGroupFollowerTimeout(t *testing.T) {
 func TestFlightGroupSharesErrors(t *testing.T) {
 	var g flightGroup
 	boom := errors.New("boom")
-	res, shared, err := g.do(context.Background(), "k", func() flightResult {
+	res, shared, _, err := g.do(context.Background(), "k", "", func() flightResult {
 		return flightResult{err: boom}
 	})
 	if err != nil || shared {
@@ -198,7 +198,7 @@ func TestFlightGroupSharesErrors(t *testing.T) {
 		t.Fatalf("res.err = %v, want boom", res.err)
 	}
 	// The failure must not be sticky.
-	res, _, err = g.do(context.Background(), "k", func() flightResult {
+	res, _, _, err = g.do(context.Background(), "k", "", func() flightResult {
 		return flightResult{doc: []byte("ok")}
 	})
 	if err != nil || res.err != nil || string(res.doc) != "ok" {
@@ -219,7 +219,7 @@ func TestFlightGroupConcurrent(t *testing.T) {
 			wg.Add(1)
 			go func(k string) {
 				defer wg.Done()
-				res, _, err := g.do(context.Background(), k, func() flightResult {
+				res, _, _, err := g.do(context.Background(), k, "", func() flightResult {
 					time.Sleep(100 * time.Microsecond)
 					return flightResult{doc: []byte(k)}
 				})

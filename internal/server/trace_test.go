@@ -1,0 +1,382 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/gpusampling/sieve/api"
+	"github.com/gpusampling/sieve/internal/obs"
+)
+
+// storeTrace is a shorthand for filling a traceStore in unit tests.
+func storeTrace(ts *traceStore, id string, durationNS int64) {
+	ts.put(&storedTrace{id: id, durationNS: durationNS, report: &obs.Report{}})
+}
+
+func TestTraceStoreBoundsAndOrdering(t *testing.T) {
+	ts := newTraceStore(4)
+	for i := 0; i < 6; i++ {
+		storeTrace(ts, fmt.Sprintf("trace-%d", i), int64(i))
+	}
+	stored, recent, slowest := ts.list()
+	if stored != 4 {
+		t.Fatalf("stored = %d, want 4 (capacity bound)", stored)
+	}
+	// Traces 0 and 1 were overwritten by 4 and 5.
+	if ts.get("trace-0") != nil || ts.get("trace-1") != nil {
+		t.Fatal("overwritten traces still resident")
+	}
+	if got := ts.get("trace-5"); got == nil || got.durationNS != 5 {
+		t.Fatalf("trace-5 not resident: %+v", got)
+	}
+	if recent[0].id != "trace-5" || recent[len(recent)-1].id != "trace-2" {
+		t.Fatalf("recent order wrong: first %s last %s", recent[0].id, recent[len(recent)-1].id)
+	}
+	if slowest[0].id != "trace-5" || slowest[0].durationNS != 5 {
+		t.Fatalf("slowest[0] = %s (%dns)", slowest[0].id, slowest[0].durationNS)
+	}
+}
+
+func TestTraceStoreReusedIDReturnsNewest(t *testing.T) {
+	ts := newTraceStore(8)
+	storeTrace(ts, "dup", 1)
+	storeTrace(ts, "dup", 2)
+	if got := ts.get("dup"); got == nil || got.durationNS != 2 {
+		t.Fatalf("get(dup) = %+v, want the newer entry", got)
+	}
+}
+
+func TestTraceStoreNilSafe(t *testing.T) {
+	var ts *traceStore
+	ts.put(&storedTrace{id: "x"})
+	if ts.get("x") != nil {
+		t.Fatal("nil store returned a trace")
+	}
+	if stored, recent, slowest := ts.list(); stored != 0 || recent != nil || slowest != nil {
+		t.Fatal("nil store listed traces")
+	}
+}
+
+// findSpan returns the first span named name in the forest, depth-first.
+func findSpan(spans []*api.TraceSpan, name string) *api.TraceSpan {
+	for _, sp := range spans {
+		if sp.Name == name {
+			return sp
+		}
+		if c := findSpan(sp.Children, name); c != nil {
+			return c
+		}
+	}
+	return nil
+}
+
+// getTrace fetches one trace document over HTTP ("" id lists instead).
+func getTrace(t *testing.T, baseURL, id string) (int, api.Trace) {
+	t.Helper()
+	var tr api.Trace
+	status := getJSON(t, baseURL+"/debug/traces/"+id, &tr)
+	return status, tr
+}
+
+// TestTracedSampleEndToEnd is the single-replica acceptance check for the
+// tentpole: a traced cold-miss sample request yields a retrievable trace
+// whose span tree and stage attribution cover the full serving path.
+func TestTracedSampleEndToEnd(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	id := strings.Repeat("ab", 16)
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/sample", strings.NewReader(testCSV()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	req.Header.Set(api.TraceHeader, id+"-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sample status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(api.TraceHeader); got != id {
+		t.Fatalf("response %s = %q, want the request id %q", api.TraceHeader, got, id)
+	}
+
+	status, tr := getTrace(t, ts.URL, id)
+	if status != http.StatusOK {
+		t.Fatalf("GET /debug/traces/%s status %d", id, status)
+	}
+	if tr.TraceID != id || tr.Method != http.MethodPost || tr.Path != "/v1/sample" || tr.Status != http.StatusOK {
+		t.Fatalf("trace summary wrong: %+v", tr.TraceSummary)
+	}
+	if tr.DurationNS <= 0 {
+		t.Fatalf("duration_ns = %d", tr.DurationNS)
+	}
+	// A cold miss touches every local stage.
+	for _, stage := range []string{stageDecode, stageCache, stageSlot, stageFlight, stageCompute, stageWrite} {
+		if _, ok := tr.StageNS[stage]; !ok {
+			t.Fatalf("stage_ns missing %q: %v", stage, tr.StageNS)
+		}
+	}
+	if _, ok := tr.StageNS[stageProxy]; ok {
+		t.Fatalf("single-node trace attributes proxy time: %v", tr.StageNS)
+	}
+
+	root := findSpan(tr.Spans, "request")
+	if root == nil {
+		t.Fatal("no request root span")
+	}
+	flight := findSpan(root.Children, stageFlight)
+	if flight == nil {
+		t.Fatal("no flight span under request")
+	}
+	// The leader's slot and compute stages nest inside its flight span.
+	if findSpan(flight.Children, stageSlot) == nil || findSpan(flight.Children, stageCompute) == nil {
+		t.Fatal("leader flight span missing slot/compute children")
+	}
+	comp := findSpan(flight.Children, stageCompute)
+	// The sampling pipeline's own span subtree (core.stratify on the default
+	// path, sampler.plan for registry methods) nests inside the compute stage.
+	if findSpan(comp.Children, "core.stratify") == nil {
+		t.Fatal("pipeline subtree not nested under the compute stage")
+	}
+	if pid, _ := comp.Attrs["plan_id"].(string); pid == "" {
+		t.Fatal("compute span has no plan_id attr")
+	}
+
+	// Chrome trace-event export of the same tree.
+	var chrome struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if status := getJSON(t, ts.URL+"/debug/traces/"+id+"?format=chrome", &chrome); status != http.StatusOK {
+		t.Fatalf("chrome export status %d", status)
+	}
+	names := make(map[string]bool)
+	for _, ev := range chrome.TraceEvents {
+		names[ev.Name] = true
+	}
+	if !names["request"] || !names[stageCompute] {
+		t.Fatalf("chrome export missing spans: %v", names)
+	}
+
+	var errDoc api.Error
+	if status := getJSON(t, ts.URL+"/debug/traces/"+strings.Repeat("ff", 16), &errDoc); status != http.StatusNotFound {
+		t.Fatalf("unknown trace id status %d, want 404", status)
+	}
+}
+
+// TestServerMintsTraceID: an untraced request still gets a trace — the server
+// mints the id and reveals it on the response header.
+func TestServerMintsTraceID(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, err := http.Post(ts.URL+"/v1/sample", "text/csv", strings.NewReader(testCSV()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	id := resp.Header.Get(api.TraceHeader)
+	if len(id) != 32 {
+		t.Fatalf("minted trace id %q, want 32 hex digits", id)
+	}
+	if status, _ := getTrace(t, ts.URL, id); status != http.StatusOK {
+		t.Fatalf("minted trace not retrievable: %d", status)
+	}
+}
+
+func TestTracesListEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	for i := 0; i < 3; i++ {
+		status, _ := postCSV(t, fmt.Sprintf("%s/v1/sample?theta=0.%d", ts.URL, i+3), testCSV())
+		if status != http.StatusOK {
+			t.Fatalf("sample %d status %d", i, status)
+		}
+	}
+	var list api.TraceList
+	if status := getJSON(t, ts.URL+"/debug/traces", &list); status != http.StatusOK {
+		t.Fatalf("list status %d", status)
+	}
+	if list.Stored != 3 || list.Capacity != 256 {
+		t.Fatalf("stored=%d capacity=%d, want 3/256", list.Stored, list.Capacity)
+	}
+	if len(list.Recent) != 3 || len(list.Slowest) != 3 {
+		t.Fatalf("recent=%d slowest=%d, want 3/3", len(list.Recent), len(list.Slowest))
+	}
+	for _, row := range list.Recent {
+		if row.TraceID == "" || row.Path != "/v1/sample" || row.Status != http.StatusOK {
+			t.Fatalf("bad listing row: %+v", row)
+		}
+	}
+	// Slowest is duration-sorted.
+	for i := 1; i < len(list.Slowest); i++ {
+		if list.Slowest[i].DurationNS > list.Slowest[i-1].DurationNS {
+			t.Fatalf("slowest not sorted: %d > %d at %d", list.Slowest[i].DurationNS, list.Slowest[i-1].DurationNS, i)
+		}
+	}
+}
+
+// TestTwoReplicaTraceSpansBothReplicas is the cluster acceptance check: one
+// trace id names a proxied request on every replica it touched — the
+// non-owner's trace attributes the hop to the proxy stage, the owner's trace
+// holds the compute.
+func TestTwoReplicaTraceSpansBothReplicas(t *testing.T) {
+	a, _, aURL, bURL := twoReplicas(t, Config{})
+	csv := testCSV()
+	id := planIDFor(t, a, csv)
+
+	ownerURL, otherURL := aURL, bURL
+	if a.shardRing().owner(id) == bURL {
+		ownerURL, otherURL = bURL, aURL
+	}
+
+	tid := strings.Repeat("cd", 16)
+	req, err := http.NewRequest(http.MethodPost, otherURL+"/v1/sample", strings.NewReader(csv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "text/csv")
+	req.Header.Set(api.TraceHeader, tid+"-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxied sample status %d", resp.StatusCode)
+	}
+
+	status, front := getTrace(t, otherURL, tid)
+	if status != http.StatusOK {
+		t.Fatalf("non-owner trace status %d", status)
+	}
+	status, back := getTrace(t, ownerURL, tid)
+	if status != http.StatusOK {
+		t.Fatalf("owner trace status %d (trace id did not propagate)", status)
+	}
+
+	if front.TraceID != tid || back.TraceID != tid {
+		t.Fatalf("trace ids diverge: front %s back %s", front.TraceID, back.TraceID)
+	}
+	if front.Replica == back.Replica {
+		t.Fatalf("both trace documents claim replica %q", front.Replica)
+	}
+	if _, ok := front.StageNS[stageProxy]; !ok {
+		t.Fatalf("non-owner trace has no proxy stage: %v", front.StageNS)
+	}
+	if _, ok := front.StageNS[stageCompute]; ok {
+		t.Fatalf("non-owner computed a proxied plan: %v", front.StageNS)
+	}
+	if _, ok := back.StageNS[stageCompute]; !ok {
+		t.Fatalf("owner trace has no compute stage: %v", back.StageNS)
+	}
+	// The owner's trace records who forwarded the request.
+	ownerRoot := findSpan(back.Spans, "request")
+	if ownerRoot == nil {
+		t.Fatal("owner trace has no request span")
+	}
+	if fwd, _ := ownerRoot.Attrs["forwarded_by"].(string); fwd == "" {
+		t.Fatal("owner request span missing forwarded_by attr")
+	}
+	proxy := findSpan(front.Spans, stageProxy)
+	if proxy == nil {
+		t.Fatal("non-owner trace has no proxy span")
+	}
+	if owner, _ := proxy.Attrs["owner"].(string); owner != ownerURL {
+		t.Fatalf("proxy span owner = %q, want %q", owner, ownerURL)
+	}
+}
+
+// TestCoalescedStormTracing pins follower linking: a 50-burst of identical
+// requests under distinct trace ids yields exactly one trace holding the
+// compute span, and 49 follower traces whose flight span links to the
+// leader's trace id instead of duplicating the compute subtree.
+func TestCoalescedStormTracing(t *testing.T) {
+	const burst = 50
+	srv := New(Config{})
+	gate := make(chan struct{})
+	srv.preCompute = func(string) { <-gate }
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	csv := testCSV()
+
+	ids := make([]string, burst)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("%032x", i+1)
+	}
+	var wg sync.WaitGroup
+	statuses := make([]int, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/sample", strings.NewReader(csv))
+			if err != nil {
+				return
+			}
+			req.Header.Set("Content-Type", "text/csv")
+			req.Header.Set(api.TraceHeader, ids[i]+"-01")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				return
+			}
+			resp.Body.Close()
+			statuses[i] = resp.StatusCode
+		}(i)
+	}
+	waitFor(t, "49 followers to coalesce", func() bool {
+		return srv.metrics.Coalesced.Value() == burst-1
+	})
+	close(gate)
+	wg.Wait()
+
+	var computeID string
+	followers := 0
+	for i, id := range ids {
+		if statuses[i] != http.StatusOK {
+			t.Fatalf("request %d status %d", i, statuses[i])
+		}
+		tr := srv.traces.get(id)
+		if tr == nil {
+			t.Fatalf("trace %s not stored", id)
+		}
+		spans := toAPISpans(tr.report.Spans)
+		flight := findSpan(spans, stageFlight)
+		if flight == nil {
+			t.Fatalf("trace %s has no flight span", id)
+		}
+		if findSpan(spans, stageCompute) != nil {
+			if computeID != "" {
+				t.Fatalf("both %s and %s hold compute spans, want exactly one leader", computeID, id)
+			}
+			computeID = id
+			continue
+		}
+		leader, _ := flight.Attrs["leader_trace"].(string)
+		if co, _ := flight.Attrs["coalesced"].(bool); !co || leader == "" {
+			t.Fatalf("follower %s flight attrs = %v, want coalesced + leader_trace", id, flight.Attrs)
+		}
+		followers++
+		if leader != computeID && computeID != "" && srv.traces.get(leader) == nil {
+			t.Fatalf("follower %s links to unknown leader %s", id, leader)
+		}
+	}
+	if computeID == "" || followers != burst-1 {
+		t.Fatalf("leader=%q followers=%d, want one leader and %d followers", computeID, followers, burst-1)
+	}
+	// Every follower must name the one trace that actually computed.
+	for _, id := range ids {
+		if id == computeID {
+			continue
+		}
+		flight := findSpan(toAPISpans(srv.traces.get(id).report.Spans), stageFlight)
+		if leader, _ := flight.Attrs["leader_trace"].(string); leader != computeID {
+			t.Fatalf("follower %s leader_trace = %s, want %s", id, leader, computeID)
+		}
+	}
+}
